@@ -1,0 +1,88 @@
+//! The range-estimation attack of [38] (paper Appendix III).
+//!
+//! Given the ring positions of the queries an adversary observed from
+//! one lookup (as node-index distances to the — unknown — target), the
+//! attack bounds the target's location: the last observed query is a
+//! lower bound (nodes past the target are never queried), and replaying
+//! the greedy rule between observed queries yields an upper bound.
+//!
+//! We work in node-index space: an estimate is "the target lies within
+//! the `width` nodes following the closest observed query".
+
+/// An estimated range for the target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RangeEstimate {
+    /// Node-index distance from the closest observed query to the start
+    /// of the range (always 1: the next node after it).
+    pub offset: usize,
+    /// Number of candidate nodes in the range.
+    pub width: usize,
+}
+
+/// Estimate the target range from observed query distances (node-index
+/// distances to the true target, unknown to the adversary — used here to
+/// size the range the adversary would derive from positions alone).
+///
+/// With two or more observed queries the greedy-halving structure lets
+/// the adversary cap the remaining distance at roughly the last *gap*;
+/// with one query only the node density bounds the guess (the paper: use
+/// the successor/predecessor of the single query).
+#[must_use]
+pub fn estimate_range(observed: &[usize], mean_hops: f64) -> Option<RangeEstimate> {
+    if observed.is_empty() {
+        return None;
+    }
+    let closest = *observed.iter().min().expect("non-empty");
+    if observed.len() >= 2 {
+        let mut sorted: Vec<usize> = observed.to_vec();
+        sorted.sort_unstable();
+        // the upper bound comes from the second-closest query: the greedy
+        // lookup from there would overshoot by at most the gap it closed
+        let gap = sorted[1] - sorted[0];
+        let width = (closest + gap.max(1)).min(closest * 2 + 2);
+        Some(RangeEstimate { offset: 1, width: width.max(1) })
+    } else {
+        // single query: the remaining distance is distributed like a
+        // full lookup tail — bound it by the typical per-hop halving
+        let width = (closest * 2 + 2) + mean_hops as usize;
+        Some(RangeEstimate { offset: 1, width })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_without_observations() {
+        assert_eq!(estimate_range(&[], 7.0), None);
+    }
+
+    #[test]
+    fn closer_queries_give_tighter_ranges() {
+        let near = estimate_range(&[1, 9], 7.0).unwrap();
+        let far = estimate_range(&[40, 90], 7.0).unwrap();
+        assert!(near.width < far.width);
+    }
+
+    #[test]
+    fn range_always_contains_target_position() {
+        // the true target is at distance `closest` past the closest
+        // query, i.e. within [offset, offset+width)
+        for obs in [&[3usize, 20][..], &[1, 2], &[15, 40, 90]] {
+            let r = estimate_range(obs, 7.0).unwrap();
+            let closest = *obs.iter().min().unwrap();
+            assert!(
+                closest >= r.offset - 1 && closest <= r.width + r.offset,
+                "target at {closest} outside range {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_query_is_looser() {
+        let one = estimate_range(&[5], 7.0).unwrap();
+        let two = estimate_range(&[5, 9], 7.0).unwrap();
+        assert!(one.width >= two.width);
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end timing-analysis attack (paper §4.7, Table 1).
+//!
+//! The adversary controls the entering relay A and some exit relays Dᵢ
+//! and tries to match them up by comparing each candidate pair's
+//! upstream and downstream one-way latencies — which would be equal in a
+//! noise-free network. Octopus defeats this by having the middle relay B
+//! add a random delay up to `max_delay` (100 or 200 ms), swamping the
+//! signal; jitter is min(10 ms, 10 % of latency) per [2].
+//!
+//! The attack: among all concurrent flows' (A, Dᵢ) candidate pairs, pick
+//! the one minimizing |upstream − downstream|. The *error rate* is the
+//! probability the picked pair is not the true one (Table 1 reports
+//! ≥ 99.35 %).
+
+use octopus_id::NodeId;
+use octopus_net::{KingLikeLatency, LatencyModel};
+use octopus_sim::derive_rng;
+use rand::Rng;
+
+/// Parameters for the timing experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct TimingConfig {
+    /// Network size (1 000 000 in Table 1).
+    pub n: usize,
+    /// Malicious fraction.
+    pub f: f64,
+    /// Concurrent lookup rate α.
+    pub alpha: f64,
+    /// Maximum random delay added at B, in ms (100 or 200 in Table 1).
+    pub max_delay_ms: f64,
+    /// Attack trials.
+    pub trials: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            n: 1_000_000,
+            f: 0.2,
+            alpha: 0.01,
+            max_delay_ms: 100.0,
+            trials: 300,
+            seed: 21,
+        }
+    }
+}
+
+/// Run the attack and return its error rate.
+#[must_use]
+pub fn timing_attack_error_rate(cfg: &TimingConfig) -> f64 {
+    let mut rng = derive_rng(cfg.seed, b"timing", cfg.max_delay_ms as u64);
+    let latency = KingLikeLatency::new(octopus_sim::split_seed(cfg.seed, 3));
+    // number of concurrent flows whose exits the adversary observes:
+    // α·N flows, each exit malicious with probability f
+    let candidates = ((cfg.n as f64 * cfg.alpha * cfg.f) as usize).clamp(2, 4000);
+    let mut errors = 0usize;
+    for _ in 0..cfg.trials {
+        // the true flow: A → B → (C) → D with B adding U(0, max) delay in
+        // the forward direction only; the adversary compares A's
+        // upstream timing with each candidate D's downstream timing
+        let a = NodeId(rng.gen());
+        let b = NodeId(rng.gen());
+        let true_d = NodeId(rng.gen());
+        let fwd_delay = rng.gen::<f64>() * cfg.max_delay_ms;
+        let up = latency.sample(a, b, &mut rng).as_millis_f64()
+            + fwd_delay
+            + latency.sample(b, true_d, &mut rng).as_millis_f64();
+        let down_true = latency.sample(true_d, b, &mut rng).as_millis_f64()
+            + latency.sample(b, a, &mut rng).as_millis_f64();
+        // pick the candidate minimizing |up - down|
+        let mut best = (f64::MAX, usize::MAX);
+        let true_idx = rng.gen_range(0..candidates);
+        for i in 0..candidates {
+            let down = if i == true_idx {
+                down_true
+            } else {
+                // a decoy flow's downstream latency through its own path
+                let d = NodeId(rng.gen());
+                let bb = NodeId(rng.gen());
+                latency.sample(d, bb, &mut rng).as_millis_f64()
+                    + latency.sample(bb, a, &mut rng).as_millis_f64()
+            };
+            let diff = (up - down).abs();
+            if diff < best.0 {
+                best = (diff, i);
+            }
+        }
+        if best.1 != true_idx {
+            errors += 1;
+        }
+    }
+    errors as f64 / cfg.trials as f64
+}
+
+/// Information leaked by the attack in bits (paper §4.7: `(1−err) ·
+/// log₂(N·(1−f) + N·α·f)`).
+#[must_use]
+pub fn timing_leak_bits(cfg: &TimingConfig, error_rate: f64) -> f64 {
+    let set = cfg.n as f64 * (1.0 - cfg.f) + cfg.n as f64 * cfg.alpha * cfg.f;
+    (1.0 - error_rate) * set.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_delay_defeats_matching() {
+        let cfg = TimingConfig {
+            trials: 150,
+            ..TimingConfig::default()
+        };
+        let err = timing_attack_error_rate(&cfg);
+        assert!(err > 0.95, "Table 1 reports ≥99% error; got {err}");
+    }
+
+    #[test]
+    fn more_candidates_raise_error() {
+        let low = TimingConfig {
+            alpha: 0.005,
+            trials: 150,
+            ..TimingConfig::default()
+        };
+        let high = TimingConfig {
+            alpha: 0.05,
+            trials: 150,
+            ..TimingConfig::default()
+        };
+        assert!(timing_attack_error_rate(&high) >= timing_attack_error_rate(&low) - 0.03);
+    }
+
+    #[test]
+    fn without_delay_attack_works_better() {
+        let with = TimingConfig { trials: 150, ..TimingConfig::default() };
+        let without = TimingConfig {
+            max_delay_ms: 0.0,
+            alpha: 0.0001, // few candidates, no delay: matching gets a chance
+            trials: 150,
+            ..TimingConfig::default()
+        };
+        let e_with = timing_attack_error_rate(&with);
+        let e_without = timing_attack_error_rate(&without);
+        assert!(
+            e_without < e_with,
+            "removing the delay must help the attack ({e_without} vs {e_with})"
+        );
+    }
+
+    #[test]
+    fn leak_is_fractions_of_a_bit() {
+        let cfg = TimingConfig::default();
+        let leak = timing_leak_bits(&cfg, 0.999);
+        assert!(leak < 0.05, "paper: 0.018 bit; got {leak}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Vanilla iterative Chord lookup [34].
+//!
+//! The initiator contacts each intermediate node *directly* (exposing
+//! its identity) and reveals the lookup key (each hop returns only its
+//! closest finger). Fast and cheap — the baseline row of Table 3 — but
+//! with no anonymity at all.
+
+use octopus_chord::{iterative_lookup, LookupTrace, RoutingView};
+use octopus_id::{Key, NodeId};
+use octopus_net::{sizes, LatencyModel};
+use octopus_sim::Duration;
+use rand::Rng;
+
+/// Probability a contacted node is a straggler (an overloaded PlanetLab
+/// host that forces a timeout + retry). The paper's measured Chord
+/// latencies (mean 1.35 s vs median 0.35 s) and Halo's (6.89 s vs
+/// 1.79 s) are dominated by exactly this effect.
+pub(crate) const STRAGGLER_PROB: f64 = 0.09;
+
+/// Extra delay incurred when a hop straggles: a retry timeout. Chord
+/// retries a single path quickly; Halo's cross-checked searches wait
+/// longer before giving a straggler up.
+pub(crate) fn straggler_delay<R: Rng + ?Sized>(rng: &mut R, slow: bool) -> Duration {
+    if slow {
+        Duration::from_millis(rng.gen_range(3000..15000))
+    } else {
+        Duration::from_millis(rng.gen_range(1000..8000))
+    }
+}
+
+/// Result of one simulated Chord lookup.
+#[derive(Clone, Debug)]
+pub struct ChordLookup {
+    /// The underlying query trace.
+    pub trace: LookupTrace,
+    /// End-to-end latency: one RTT initiator ↔ each queried node.
+    pub latency: Duration,
+    /// Bytes moved (requests + closest-finger replies).
+    pub bytes: u64,
+}
+
+/// Run a Chord lookup over `view` and replay its message pattern against
+/// the latency model.
+pub fn chord_lookup<V: RoutingView, L: LatencyModel, R: Rng + ?Sized>(
+    view: &V,
+    initiator: NodeId,
+    key: Key,
+    latency: &L,
+    rng: &mut R,
+) -> ChordLookup {
+    let trace = iterative_lookup(view, initiator, key);
+    let mut total = Duration::ZERO;
+    let mut bytes = 0u64;
+    for &q in &trace.queried {
+        // iterative: request out, reply back
+        total = total + latency.sample(initiator, q, rng) + latency.sample(q, initiator, rng);
+        if rng.gen::<f64>() < STRAGGLER_PROB {
+            total = total + straggler_delay(rng, false);
+        }
+        // vanilla Chord replies with a single closest finger
+        bytes += u64::from(sizes::REQUEST) + u64::from(sizes::ROUTING_ITEM) + 2 * u64::from(sizes::UDP_HEADER);
+    }
+    ChordLookup {
+        trace,
+        latency: total,
+        bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_chord::{ChordConfig, GroundTruthView};
+    use octopus_id::IdSpace;
+    use octopus_net::KingLikeLatency;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_owner_with_plausible_latency() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = IdSpace::random(500, &mut rng);
+        let view = GroundTruthView::new(&space, ChordConfig::for_network(500));
+        let lat = KingLikeLatency::new(2);
+        let initiator = space.random_member(&mut rng);
+        let res = chord_lookup(&view, initiator, Key(rng.gen()), &lat, &mut rng);
+        assert_eq!(res.trace.result(), Some(space.owner_of(res.trace.key).owner));
+        // h hops ≈ log N; each RTT ≈ 182 ms → well under 10 s
+        assert!(res.latency < Duration::from_secs(10));
+        if res.trace.hops() > 0 {
+            assert!(res.latency > Duration::ZERO);
+            assert!(res.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn zero_hop_lookup_is_free() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let space = IdSpace::random(50, &mut rng);
+        let view = GroundTruthView::new(&space, ChordConfig::for_network(50));
+        let lat = KingLikeLatency::new(4);
+        let n = space.ids()[0];
+        let succ = space.successor(n, 1);
+        let res = chord_lookup(&view, n, succ.as_key(), &lat, &mut rng);
+        assert_eq!(res.trace.hops(), 0);
+        assert_eq!(res.latency, Duration::ZERO);
+        assert_eq!(res.bytes, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! NISAN [28]: iterative lookup over whole fingertables.
+//!
+//! Each queried node returns its *entire* fingertable (hiding the lookup
+//! key), and the initiator applies bound checking to limit manipulation.
+//! But the initiator still contacts every hop directly — exposing its
+//! identity — and the *positions* of its queries leak the target to a
+//! range-estimation attack [38] (reproduced in `octopus-anonymity`).
+
+use octopus_chord::{BoundChecker, ChordConfig, NextHop, RoutingView};
+use octopus_id::{Key, NodeId};
+use octopus_net::{sizes, LatencyModel};
+use octopus_sim::Duration;
+use rand::Rng;
+
+/// Result of one simulated NISAN lookup.
+#[derive(Clone, Debug)]
+pub struct NisanLookup {
+    /// Nodes the initiator queried, in order (the observable trace the
+    /// range-estimation attack consumes).
+    pub queried: Vec<NodeId>,
+    /// The owner found.
+    pub result: Option<NodeId>,
+    /// End-to-end latency.
+    pub latency: Duration,
+    /// Bytes moved (fingertable replies are large).
+    pub bytes: u64,
+    /// Fingers that failed bound checking along the way.
+    pub bound_failures: usize,
+}
+
+/// Run a NISAN lookup over `view`.
+pub fn nisan_lookup<V: RoutingView, L: LatencyModel, R: Rng + ?Sized>(
+    view: &V,
+    config: ChordConfig,
+    n_estimate: usize,
+    initiator: NodeId,
+    key: Key,
+    latency: &L,
+    rng: &mut R,
+) -> NisanLookup {
+    let checker = BoundChecker::from_network_size(config, n_estimate);
+    let mut queried = Vec::new();
+    let mut total = Duration::ZERO;
+    let mut bytes = 0u64;
+    let mut bound_failures = 0usize;
+    let mut current = view.table_of(initiator);
+    let result = loop {
+        match current.next_hop(key) {
+            NextHop::Found(owner) => break Some(owner),
+            NextHop::Forward(next) => {
+                if queried.len() >= 64 {
+                    break None;
+                }
+                queried.push(next);
+                total = total
+                    + latency.sample(initiator, next, rng)
+                    + latency.sample(next, initiator, rng);
+                // request + a full signed routing table back
+                bytes += u64::from(sizes::REQUEST)
+                    + u64::from(sizes::signed_table(
+                        config.fingers + config.successors as u32,
+                    ))
+                    + 2 * u64::from(sizes::UDP_HEADER);
+                let table = view.table_of(next);
+                if !checker.passes(&table) {
+                    bound_failures += 1;
+                }
+                current = table;
+            }
+        }
+    };
+    NisanLookup {
+        queried,
+        result,
+        latency: total,
+        bytes,
+        bound_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_chord::GroundTruthView;
+    use octopus_id::IdSpace;
+    use octopus_net::KingLikeLatency;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn correct_and_heavier_than_chord() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let space = IdSpace::random(500, &mut rng);
+        let cfg = ChordConfig::for_network(500);
+        let view = GroundTruthView::new(&space, cfg);
+        let lat = KingLikeLatency::new(12);
+        let i = space.random_member(&mut rng);
+        let key = Key(rng.gen());
+        let n = nisan_lookup(&view, cfg, 500, i, key, &lat, &mut rng);
+        assert_eq!(n.result, Some(space.owner_of(key).owner));
+        let c = crate::chord::chord_lookup(&view, i, key, &lat, &mut rng);
+        if !n.queried.is_empty() && !c.trace.queried.is_empty() {
+            let per_hop_nisan = n.bytes / n.queried.len() as u64;
+            let per_hop_chord = c.bytes / c.trace.queried.len() as u64;
+            assert!(
+                per_hop_nisan > per_hop_chord,
+                "whole-fingertable replies must outweigh single-finger replies"
+            );
+        }
+    }
+
+    #[test]
+    fn honest_tables_pass_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let space = IdSpace::random(500, &mut rng);
+        let cfg = ChordConfig::for_network(500);
+        let view = GroundTruthView::new(&space, cfg);
+        let lat = KingLikeLatency::new(14);
+        let mut failures = 0;
+        for _ in 0..20 {
+            let i = space.random_member(&mut rng);
+            let n = nisan_lookup(&view, cfg, 500, i, Key(rng.gen()), &lat, &mut rng);
+            failures += n.bound_failures;
+        }
+        assert!(failures <= 2, "honest fingertables should pass bound checks");
+    }
+}

@@ -1,0 +1,143 @@
+//! Torsk [20]: buddy (proxy) lookups.
+//!
+//! The initiator performs a random walk to find a *buddy* and asks the
+//! buddy to run the lookup on its behalf: intermediate nodes see the
+//! buddy, not the initiator. This protects the initiator — but the
+//! lookup itself is an ordinary (Myrmic-secured) lookup that reveals the
+//! target to whoever observes it, which is what makes Torsk vulnerable
+//! to relay-exhaustion attacks [38] (§6.3).
+
+use octopus_chord::{iterative_lookup, RoutingView};
+use octopus_id::{Key, NodeId};
+use octopus_net::{sizes, LatencyModel};
+use octopus_sim::Duration;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Random-walk length for buddy selection.
+pub const BUDDY_WALK: usize = 6;
+
+/// Result of one simulated Torsk lookup.
+#[derive(Clone, Debug)]
+pub struct TorskLookup {
+    /// The buddy that proxied the lookup.
+    pub buddy: NodeId,
+    /// The walk hops that led to the buddy (observable by walk relays).
+    pub walk: Vec<NodeId>,
+    /// Nodes the buddy queried (observable, linkable to the *buddy*).
+    pub queried: Vec<NodeId>,
+    /// The owner found.
+    pub result: Option<NodeId>,
+    /// End-to-end latency: walk + proxy round trip + buddy's lookup.
+    pub latency: Duration,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+/// Run a Torsk lookup over `view`.
+pub fn torsk_lookup<V: RoutingView, L: LatencyModel, R: Rng + ?Sized>(
+    view: &V,
+    initiator: NodeId,
+    key: Key,
+    latency: &L,
+    rng: &mut R,
+) -> TorskLookup {
+    // random walk over fingertables to find the buddy
+    let mut walk = Vec::with_capacity(BUDDY_WALK);
+    let mut total = Duration::ZERO;
+    let mut bytes = 0u64;
+    let mut current = initiator;
+    for _ in 0..BUDDY_WALK {
+        let table = view.table_of(current);
+        let candidates: Vec<NodeId> = table
+            .fingers
+            .iter()
+            .copied()
+            .filter(|&f| f != current && f != initiator)
+            .collect();
+        let Some(&next) = candidates.as_slice().choose(rng) else {
+            break;
+        };
+        total = total + latency.sample(current, next, rng) + latency.sample(next, current, rng);
+        bytes += u64::from(sizes::REQUEST)
+            + u64::from(sizes::signed_table(12))
+            + 2 * u64::from(sizes::UDP_HEADER);
+        walk.push(next);
+        current = next;
+    }
+    let buddy = current;
+    // hand the key to the buddy, buddy runs the lookup, returns result
+    total = total + latency.sample(initiator, buddy, rng);
+    bytes += u64::from(sizes::REQUEST) + u64::from(sizes::UDP_HEADER);
+    let trace = iterative_lookup(view, buddy, key);
+    for &q in &trace.queried {
+        total = total + latency.sample(buddy, q, rng) + latency.sample(q, buddy, rng);
+        // Myrmic replies carry certified routing state
+        bytes += u64::from(sizes::REQUEST)
+            + u64::from(sizes::ROUTING_ITEM)
+            + u64::from(sizes::CERTIFICATE)
+            + u64::from(sizes::SIGNATURE)
+            + 2 * u64::from(sizes::UDP_HEADER);
+    }
+    total = total + latency.sample(buddy, initiator, rng);
+    bytes += u64::from(sizes::ROUTING_ITEM) + u64::from(sizes::UDP_HEADER);
+    TorskLookup {
+        buddy,
+        walk,
+        queried: trace.queried.clone(),
+        result: trace.result(),
+        latency: total,
+        bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_chord::{ChordConfig, GroundTruthView};
+    use octopus_id::IdSpace;
+    use octopus_net::KingLikeLatency;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_owner_via_buddy() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let space = IdSpace::random(400, &mut rng);
+        let view = GroundTruthView::new(&space, ChordConfig::for_network(400));
+        let lat = KingLikeLatency::new(16);
+        let i = space.random_member(&mut rng);
+        let key = Key(rng.gen());
+        let t = torsk_lookup(&view, i, key, &lat, &mut rng);
+        assert_eq!(t.result, Some(space.owner_of(key).owner));
+        assert_ne!(t.buddy, i, "the buddy proxies for the initiator");
+        assert!(!t.walk.is_empty());
+    }
+
+    #[test]
+    fn lookup_queries_come_from_buddy_not_initiator() {
+        // the anonymity property Torsk buys: queried nodes never see the
+        // initiator, only the buddy — encoded here as the trace being a
+        // buddy-rooted lookup
+        let mut rng = StdRng::seed_from_u64(17);
+        let space = IdSpace::random(400, &mut rng);
+        let view = GroundTruthView::new(&space, ChordConfig::for_network(400));
+        let lat = KingLikeLatency::new(18);
+        let i = space.random_member(&mut rng);
+        let t = torsk_lookup(&view, i, Key(rng.gen()), &lat, &mut rng);
+        assert!(!t.queried.contains(&i) || t.queried.is_empty());
+    }
+
+    #[test]
+    fn costlier_than_plain_chord() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let space = IdSpace::random(400, &mut rng);
+        let view = GroundTruthView::new(&space, ChordConfig::for_network(400));
+        let lat = KingLikeLatency::new(20);
+        let i = space.random_member(&mut rng);
+        let key = Key(rng.gen());
+        let t = torsk_lookup(&view, i, key, &lat, &mut rng);
+        let c = crate::chord::chord_lookup(&view, i, key, &lat, &mut rng);
+        assert!(t.latency >= c.latency, "walk + proxying adds latency");
+    }
+}

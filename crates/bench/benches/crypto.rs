@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of the crypto substrate: SHA-256
+//! throughput, RSA-64 sign/verify (paid on every routing-table
+//! response), and onion wrap/unwrap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use octopus_crypto::{onion, sha256, KeyPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xabu8; 1024];
+    let mut g = c.benchmark_group("sha256");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("1KiB", |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = KeyPair::generate(&mut rng);
+    let msg = b"signed routing table bytes";
+    let sig = kp.sign(msg);
+    c.bench_function("rsa64_sign", |b| b.iter(|| kp.sign(std::hint::black_box(msg))));
+    c.bench_function("rsa64_verify", |b| {
+        b.iter(|| kp.public().verify(std::hint::black_box(msg), sig))
+    });
+}
+
+fn bench_onion(c: &mut Criterion) {
+    let keys: Vec<[u8; 32]> = (0..4).map(|i| [i as u8 + 1; 32]).collect();
+    let hops = [2u64, 3, 4, 0];
+    let payload = vec![0x42u8; 64];
+    c.bench_function("onion_wrap_4hops", |b| {
+        b.iter(|| onion::wrap(std::hint::black_box(&payload), &keys, &hops, 7))
+    });
+    let wrapped = onion::wrap(&payload, &keys, &hops, 7);
+    c.bench_function("onion_unwrap_layer", |b| {
+        b.iter(|| onion::unwrap(std::hint::black_box(&wrapped), &keys[0]).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_rsa, bench_onion);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches of the lookup machinery: greedy next-hop decisions
+//! and full iterative lookups on a 10 000-node ring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octopus_chord::{iterative_lookup, ChordConfig, GroundTruthView, RoutingView};
+use octopus_id::{IdSpace, Key};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let space = IdSpace::random(10_000, &mut rng);
+    let cfg = ChordConfig::for_network(10_000);
+    let view = GroundTruthView::new(&space, cfg);
+    let start = space.ids()[0];
+    c.bench_function("iterative_lookup_10k", |b| {
+        b.iter(|| {
+            let key = Key(rng.gen());
+            iterative_lookup(&view, start, std::hint::black_box(key))
+        })
+    });
+    let table = view.table_of(start);
+    c.bench_function("next_hop_decision", |b| {
+        b.iter(|| {
+            let key = Key(rng.gen());
+            table.next_hop(std::hint::black_box(key))
+        })
+    });
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

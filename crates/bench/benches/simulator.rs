@@ -1,0 +1,32 @@
+//! Criterion bench of the full security simulator: events per second of
+//! a small Octopus network under lookup-bias attack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octopus_core::{AttackKind, OctopusConfig, SecuritySim, SimConfig};
+use octopus_sim::Duration;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10); // one sample is a full 30-simulated-second run
+    g.bench_function("security_sim_100n_30s", |b| {
+        b.iter(|| {
+            let cfg = SimConfig {
+                n: 100,
+                malicious_fraction: 0.2,
+                attack: AttackKind::LookupBias,
+                attack_rate: 1.0,
+                consistent_collusion: 0.5,
+                mean_lifetime: None,
+                duration: Duration::from_secs(30),
+                seed: 1,
+                octopus: OctopusConfig::for_network(100),
+                lookups_enabled: true,
+            };
+            SecuritySim::new(cfg).run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

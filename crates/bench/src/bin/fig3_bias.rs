@@ -1,0 +1,30 @@
+//! Fig. 3(a)/(b): lookup-bias attack — remaining malicious fraction over
+//! time at attack rates 100 % and 50 %, plus cumulative all/biased
+//! lookup counts.
+
+use octopus_bench::{print_fraction_series, security_config, Scale};
+use octopus_core::{AttackKind, SecuritySim};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig 3(a): lookup bias attack — remaining malicious fraction\n");
+    for rate in [1.0, 0.5] {
+        let cfg = security_config(scale, AttackKind::LookupBias, rate, 31);
+        let report = SecuritySim::new(cfg).run();
+        print_fraction_series(&format!("attack rate = {:.0}%", rate * 100.0), &report.malicious_fraction);
+        println!(
+            "(FP rate {:.2}%, {} revocations)\n",
+            report.false_positive_rate() * 100.0,
+            report.revocations
+        );
+        if (rate - 1.0).abs() < f64::EPSILON {
+            println!("Fig 3(b): cumulative lookups (all vs biased)");
+            println!("# time(s)  all  biased");
+            for (i, &(t, all)) in report.lookups_total.iter().enumerate().step_by(4) {
+                let biased = report.lookups_biased.get(i).map_or(0.0, |&(_, b)| b);
+                println!("{t:7.0}  {all:7.0}  {biased:7.0}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Fig. 3(c): fingertable manipulation attack — remaining malicious
+//! fraction over time at attack rates 100 % and 50 %.
+
+use octopus_bench::{print_fraction_series, security_config, Scale};
+use octopus_core::{AttackKind, SecuritySim};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig 3(c): fingertable manipulation attack\n");
+    for rate in [1.0, 0.5] {
+        let cfg = security_config(scale, AttackKind::FingerManipulation, rate, 33);
+        let report = SecuritySim::new(cfg).run();
+        print_fraction_series(&format!("attack rate = {:.0}%", rate * 100.0), &report.malicious_fraction);
+        println!(
+            "(FP rate {:.2}%, FN rate {:.2}%)\n",
+            report.false_positive_rate() * 100.0,
+            report.false_negative_rate() * 100.0
+        );
+    }
+}

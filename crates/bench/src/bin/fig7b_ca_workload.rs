@@ -1,0 +1,26 @@
+//! Fig. 7(b): CA workload — messages received by the CA per 10 s bin,
+//! for each of the three active attacks. The paper: the peak is at the
+//! beginning (most attackers alive), ~2 msgs/s at the busiest, and
+//! hardly any new reports after 20 min.
+
+use octopus_bench::{security_config, Scale};
+use octopus_core::{AttackKind, SecuritySim};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig 7(b): messages received by the CA (per 10s bin)\n");
+    for (name, attack) in [
+        ("Lookup bias", AttackKind::LookupBias),
+        ("FT manipulation", AttackKind::FingerManipulation),
+        ("FT pollution", AttackKind::FingerPollution),
+    ] {
+        let cfg = security_config(scale, attack, 1.0, 37);
+        let report = SecuritySim::new(cfg).run();
+        println!("# {name}: time(s)  CA msgs in bin");
+        for &(t, v) in report.ca_messages.iter().step_by(2) {
+            println!("{t:7.0}  {v:7.0}");
+        }
+        let peak = report.ca_messages.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        println!("(peak {:.1} msgs/s)\n", peak / 10.0);
+    }
+}

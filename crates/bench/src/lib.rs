@@ -1,0 +1,119 @@
+//! The benchmark harness: one runnable target per table and figure of
+//! the paper (see DESIGN.md §3 for the full experiment index).
+//!
+//! Experiment binaries live in `src/bin/` and print rows/series shaped
+//! like the paper's tables and figures; `cargo bench` additionally runs
+//! Criterion micro-benchmarks of the underlying machinery (`benches/`).
+//!
+//! Scale control: every binary honours the `OCTOPUS_SCALE` environment
+//! variable — `full` runs the paper's exact parameters (N = 1000 × 1000 s
+//! security sims, N = 100 000 anonymity rings; minutes of CPU), while the
+//! default `quick` runs a reduced-but-shape-preserving configuration
+//! suitable for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use octopus_core::{AttackKind, OctopusConfig, SimConfig};
+use octopus_sim::Duration;
+
+/// Experiment scale, from `OCTOPUS_SCALE` (`quick` default, or `full`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced parameters, same shapes — seconds of CPU.
+    Quick,
+    /// The paper's exact parameters — minutes of CPU.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from the environment.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("OCTOPUS_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Security-sim network size (paper: 1000).
+    #[must_use]
+    pub fn sim_n(self) -> usize {
+        match self {
+            Scale::Quick => 300,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Security-sim duration (paper: 1000 s).
+    #[must_use]
+    pub fn sim_secs(self) -> u64 {
+        match self {
+            Scale::Quick => 400,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Anonymity ring size (paper: 100 000).
+    #[must_use]
+    pub fn anon_n(self) -> usize {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 100_000,
+        }
+    }
+
+    /// Anonymity Monte-Carlo trials.
+    #[must_use]
+    pub fn anon_trials(self) -> usize {
+        match self {
+            Scale::Quick => 300,
+            Scale::Full => 1000,
+        }
+    }
+}
+
+/// A security-sim configuration matching §5.1 at the given scale.
+#[must_use]
+pub fn security_config(scale: Scale, attack: AttackKind, attack_rate: f64, seed: u64) -> SimConfig {
+    SimConfig {
+        n: scale.sim_n(),
+        malicious_fraction: 0.2,
+        attack,
+        attack_rate,
+        consistent_collusion: 0.5,
+        mean_lifetime: None,
+        duration: Duration::from_secs(scale.sim_secs()),
+        seed,
+        octopus: OctopusConfig::for_network(scale.sim_n()),
+        lookups_enabled: true,
+    }
+}
+
+/// Print a malicious-fraction-over-time series as the figures do.
+pub fn print_fraction_series(label: &str, series: &[(f64, f64)]) {
+    println!("# {label}: time(s)  fraction_of_malicious_nodes");
+    for &(t, f) in series.iter().step_by(2) {
+        println!("{t:7.0}  {f:.4}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_env_convention() {
+        assert_eq!(Scale::Quick.sim_n(), 300);
+        assert_eq!(Scale::Full.sim_n(), 1000);
+        assert!(Scale::Full.anon_n() > Scale::Quick.anon_n());
+    }
+
+    #[test]
+    fn security_config_matches_paper_shape() {
+        let c = security_config(Scale::Full, AttackKind::LookupBias, 1.0, 1);
+        assert_eq!(c.n, 1000);
+        assert!((c.malicious_fraction - 0.2).abs() < 1e-12);
+        assert_eq!(c.duration, Duration::from_secs(1000));
+    }
+}

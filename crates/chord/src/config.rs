@@ -1,0 +1,105 @@
+//! Ring parameters.
+
+/// Chord/Octopus ring configuration.
+///
+/// Defaults follow the paper's §5.1 experiment setup: 12 fingers and 6
+/// successors/predecessors for a 1000-node network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChordConfig {
+    /// Number of fingers each node maintains. Finger `i` targets
+    /// `n + 2^(64 - fingers + i)` … we keep the *top* `fingers` bits so a
+    /// small fingertable still spans the whole ring (see
+    /// [`ChordConfig::finger_bit`]).
+    pub fingers: u32,
+    /// Successor list length.
+    pub successors: usize,
+    /// Predecessor list length (Octopus keeps it equal to `successors`;
+    /// §4.3 requires it to be "of the same size as the successor list").
+    pub predecessors: usize,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        ChordConfig {
+            fingers: 12,
+            successors: 6,
+            predecessors: 6,
+        }
+    }
+}
+
+impl ChordConfig {
+    /// A configuration scaled for a network of `n` nodes: `⌈log₂ n⌉ + 2`
+    /// fingers (enough for O(log N) routing with slack), 6
+    /// successors/predecessors.
+    #[must_use]
+    pub fn for_network(n: usize) -> Self {
+        let bits = usize::BITS - n.saturating_sub(1).leading_zeros();
+        ChordConfig {
+            fingers: (bits + 2).clamp(4, 63),
+            successors: 6,
+            predecessors: 6,
+        }
+    }
+
+    /// The ring-bit index of finger `i` (0-based, `i < self.fingers`).
+    ///
+    /// With `fingers = f`, finger `i` targets `n + 2^(64 - f + i)`: the
+    /// *longest* finger always spans half the ring, and the shortest
+    /// spans `2^(64-f)` — about `ring / 2^f`, i.e. roughly the expected
+    /// spacing of `2^f` nodes. This is how deployments with `m`-bit ids
+    /// but far fewer than `2^m` nodes actually provision fingertables.
+    #[must_use]
+    pub fn finger_bit(&self, i: u32) -> u32 {
+        assert!(i < self.fingers, "finger index out of range");
+        64 - self.fingers + i
+    }
+
+    /// Ideal target key of finger `i` for node `n`.
+    #[must_use]
+    pub fn finger_target(&self, node: octopus_id::NodeId, i: u32) -> octopus_id::Key {
+        node.finger_target(self.finger_bit(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_id::NodeId;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ChordConfig::default();
+        assert_eq!(c.fingers, 12);
+        assert_eq!(c.successors, 6);
+        assert_eq!(c.predecessors, 6);
+    }
+
+    #[test]
+    fn for_network_scales() {
+        assert_eq!(ChordConfig::for_network(1000).fingers, 12);
+        assert_eq!(ChordConfig::for_network(100_000).fingers, 19);
+        assert_eq!(ChordConfig::for_network(2).fingers, 4);
+    }
+
+    #[test]
+    fn longest_finger_spans_half_ring() {
+        let c = ChordConfig::default();
+        let t = c.finger_target(NodeId(0), c.fingers - 1);
+        assert_eq!(t.0, 1u64 << 63);
+    }
+
+    #[test]
+    fn shortest_finger_spacing() {
+        let c = ChordConfig::default();
+        let t = c.finger_target(NodeId(0), 0);
+        assert_eq!(t.0, 1u64 << 52);
+    }
+
+    #[test]
+    #[should_panic(expected = "finger index out of range")]
+    fn finger_bit_bounds() {
+        let c = ChordConfig::default();
+        let _ = c.finger_bit(12);
+    }
+}

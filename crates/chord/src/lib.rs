@@ -1,0 +1,38 @@
+//! The Chord DHT substrate Octopus is built on.
+//!
+//! Octopus customizes Chord (§4.3): each node maintains a fingertable for
+//! routing, a successor list for stabilization *and lookups* (speeding up
+//! the last hops), and — new in Octopus — a predecessor list maintained by
+//! running the stabilization protocol anticlockwise, which powers secret
+//! neighbor surveillance.
+//!
+//! This crate contains the protocol-agnostic pieces shared by the Octopus
+//! core, the baselines, and the anonymity calculators:
+//!
+//! * [`config::ChordConfig`] — ring parameters (12 fingers, 6
+//!   successors/predecessors in the paper's §5.1 setup),
+//! * [`table::RoutingTable`] and its greedy [`table::NextHop`] rule,
+//! * [`lookup`] — an oracle-driven iterative lookup over any
+//!   [`lookup::RoutingView`], used by the anonymity pre-simulations and
+//!   the baselines (the message-level lookup lives in `octopus-core`),
+//! * [`stabilize`] — pure successor/predecessor list maintenance rules,
+//! * [`signed`] — signed, timestamped routing tables (the non-repudiation
+//!   proofs consumed by the CA),
+//! * [`bound_check`] — NISAN-style fingertable bound checking, Octopus'
+//!   lightweight defense for random walks (§4.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bound_check;
+pub mod config;
+pub mod lookup;
+pub mod signed;
+pub mod stabilize;
+pub mod table;
+
+pub use bound_check::BoundChecker;
+pub use config::ChordConfig;
+pub use lookup::{iterative_lookup, GroundTruthView, LookupOutcome, LookupTrace, RoutingView};
+pub use signed::{SignedPredecessorList, SignedRoutingTable, SignedSuccessorList};
+pub use table::{NextHop, RoutingTable};

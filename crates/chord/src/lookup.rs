@@ -1,0 +1,255 @@
+//! Oracle-driven iterative lookup.
+//!
+//! The anonymity pre-simulations (paper §6: the distributions ξ, γ, χ are
+//! "obtained via pre-simulations of the lookup"), the range-estimation
+//! attack's *virtual lookup* (Appendix III), and the baselines all need
+//! to run lookups against some view of the ring without paying for
+//! message-level simulation. [`RoutingView`] abstracts "ask node X for
+//! its routing table"; [`iterative_lookup`] drives the greedy rule of
+//! [`RoutingTable::next_hop`] over any such view and records the query
+//! trace an adversary could observe.
+
+use octopus_id::{IdSpace, Key, NodeId};
+
+use crate::config::ChordConfig;
+use crate::table::{NextHop, RoutingTable};
+
+/// Hop-count cap: honest Chord lookups take Θ(log N) hops; anything past
+/// this indicates a routing loop induced by manipulated tables.
+pub const MAX_HOPS: usize = 96;
+
+/// A source of routing tables (ground truth, cached state, or an
+/// adversarially manipulated view).
+pub trait RoutingView {
+    /// The routing table node `of` would return to a query.
+    fn table_of(&self, of: NodeId) -> RoutingTable;
+}
+
+/// Ground-truth view backed by an [`IdSpace`]: every node's fingers and
+/// successor/predecessor lists are globally correct. This models a
+/// converged, attack-free ring.
+#[derive(Clone, Debug)]
+pub struct GroundTruthView<'a> {
+    space: &'a IdSpace,
+    config: ChordConfig,
+}
+
+impl<'a> GroundTruthView<'a> {
+    /// View over `space` with ring parameters `config`.
+    #[must_use]
+    pub fn new(space: &'a IdSpace, config: ChordConfig) -> Self {
+        GroundTruthView { space, config }
+    }
+
+    /// The underlying id space.
+    #[must_use]
+    pub fn space(&self) -> &IdSpace {
+        self.space
+    }
+
+    /// The ring configuration.
+    #[must_use]
+    pub fn config(&self) -> ChordConfig {
+        self.config
+    }
+}
+
+impl RoutingView for GroundTruthView<'_> {
+    fn table_of(&self, of: NodeId) -> RoutingTable {
+        let fingers = (0..self.config.fingers)
+            .map(|i| self.space.owner_of(self.config.finger_target(of, i)).owner)
+            .collect();
+        RoutingTable {
+            owner: of,
+            fingers,
+            successors: self.space.successor_list(of, self.config.successors),
+            predecessors: self.space.predecessor_list(of, self.config.predecessors),
+        }
+    }
+}
+
+/// Why a lookup terminated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The greedy rule converged on an owner.
+    Found(NodeId),
+    /// The hop cap was hit (routing loop — only possible under attack).
+    HopLimit,
+}
+
+/// The observable trace of one iterative lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LookupTrace {
+    /// The key being looked up.
+    pub key: Key,
+    /// Nodes queried, in order. The initiator's own table is consulted
+    /// first but the initiator itself is *not* part of this list.
+    pub queried: Vec<NodeId>,
+    /// Result of the lookup.
+    pub outcome: LookupOutcome,
+}
+
+impl LookupTrace {
+    /// The lookup result if it converged.
+    #[must_use]
+    pub fn result(&self) -> Option<NodeId> {
+        match self.outcome {
+            LookupOutcome::Found(n) => Some(n),
+            LookupOutcome::HopLimit => None,
+        }
+    }
+
+    /// Number of remote queries performed.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.queried.len()
+    }
+}
+
+/// Run an iterative lookup from `initiator` for `key` over `view`.
+///
+/// The initiator first consults its *own* routing table, then iteratively
+/// queries remote nodes for theirs, applying the greedy
+/// [`RoutingTable::next_hop`] rule — exactly the query pattern whose
+/// observability the anonymity analysis models.
+pub fn iterative_lookup<V: RoutingView>(view: &V, initiator: NodeId, key: Key) -> LookupTrace {
+    let mut queried = Vec::new();
+    let mut current = view.table_of(initiator);
+    loop {
+        match current.next_hop(key) {
+            NextHop::Found(owner) => {
+                return LookupTrace {
+                    key,
+                    queried,
+                    outcome: LookupOutcome::Found(owner),
+                }
+            }
+            NextHop::Forward(next) => {
+                if queried.len() >= MAX_HOPS {
+                    return LookupTrace {
+                        key,
+                        queried,
+                        outcome: LookupOutcome::HopLimit,
+                    };
+                }
+                queried.push(next);
+                current = view.table_of(next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize, seed: u64) -> (IdSpace, ChordConfig) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = IdSpace::random(n, &mut rng);
+        (space, ChordConfig::for_network(n))
+    }
+
+    #[test]
+    fn lookup_finds_correct_owner() {
+        let (space, cfg) = setup(500, 1);
+        let view = GroundTruthView::new(&space, cfg);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let initiator = space.random_member(&mut rng);
+            let key = Key(rng.gen());
+            let trace = iterative_lookup(&view, initiator, key);
+            assert_eq!(
+                trace.result(),
+                Some(space.owner_of(key).owner),
+                "lookup must return ground-truth owner"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_is_logarithmic() {
+        let (space, cfg) = setup(1000, 3);
+        let view = GroundTruthView::new(&space, cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut total = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            let initiator = space.random_member(&mut rng);
+            let key = Key(rng.gen());
+            let trace = iterative_lookup(&view, initiator, key);
+            assert!(trace.hops() <= 30, "hops {} too high for N=1000", trace.hops());
+            total += trace.hops();
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            (2.0..12.0).contains(&mean),
+            "mean hops {mean} should be Θ(log N) ≈ 5-10"
+        );
+    }
+
+    #[test]
+    fn queries_approach_key_monotonically_in_distance() {
+        let (space, cfg) = setup(800, 5);
+        let view = GroundTruthView::new(&space, cfg);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..50 {
+            let initiator = space.random_member(&mut rng);
+            let key = Key(rng.gen());
+            let trace = iterative_lookup(&view, initiator, key);
+            // distance from each queried node to the key strictly decreases
+            let mut last = key.distance_from_node(initiator);
+            for &q in &trace.queried {
+                let d = key.distance_from_node(q);
+                assert!(d < last, "greedy lookup must advance");
+                last = d;
+            }
+        }
+    }
+
+    #[test]
+    fn own_key_resolves_locally_or_via_successor() {
+        let (space, cfg) = setup(100, 7);
+        let view = GroundTruthView::new(&space, cfg);
+        let n = space.ids()[0];
+        // a key owned by n's direct successor: no remote queries needed
+        let succ = space.successor(n, 1);
+        let trace = iterative_lookup(&view, n, succ.as_key());
+        assert_eq!(trace.result(), Some(succ));
+        assert_eq!(trace.hops(), 0);
+    }
+
+    #[test]
+    fn two_node_ring() {
+        let space = IdSpace::new(vec![NodeId(10), NodeId(1 << 60)]);
+        let cfg = ChordConfig::for_network(2);
+        let view = GroundTruthView::new(&space, cfg);
+        let trace = iterative_lookup(&view, NodeId(10), Key(11));
+        assert_eq!(trace.result(), Some(NodeId(1 << 60)));
+        let trace = iterative_lookup(&view, NodeId(10), Key(5));
+        assert_eq!(trace.result(), Some(NodeId(10)));
+    }
+
+    #[test]
+    fn hop_limit_on_adversarial_crawl() {
+        /// Greedy forwarding always advances clockwise, so a cycle is
+        /// impossible — but an adversary inventing endless node ids can
+        /// make each step advance by only one position, stretching the
+        /// lookup toward 2^64 hops. The cap must cut this off.
+        struct Crawl;
+        impl RoutingView for Crawl {
+            fn table_of(&self, of: NodeId) -> RoutingTable {
+                RoutingTable {
+                    owner: of,
+                    fingers: vec![NodeId(of.0.wrapping_add(1))],
+                    successors: vec![],
+                    predecessors: vec![],
+                }
+            }
+        }
+        let trace = iterative_lookup(&Crawl, NodeId(1), Key(u64::MAX / 2));
+        assert_eq!(trace.outcome, LookupOutcome::HopLimit);
+        assert_eq!(trace.hops(), MAX_HOPS);
+    }
+}

@@ -1,0 +1,222 @@
+//! Routing tables and the greedy next-hop rule.
+//!
+//! In Octopus every queried node returns its full *routing table* — the
+//! combination of fingertable and successor list (§4.3) — rather than a
+//! single closest finger. Returning the whole table both hides the lookup
+//! key from intermediate nodes (target anonymity, §4.1) and lets the
+//! initiator use successor entries to finish the lookup early.
+
+use octopus_id::{Key, NodeId};
+
+/// A node's routing state as returned to lookup queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutingTable {
+    /// The table's owner.
+    pub owner: NodeId,
+    /// Finger entries, shortest span first. May contain `owner` itself
+    /// when the network is small.
+    pub fingers: Vec<NodeId>,
+    /// Successor list, nearest first.
+    pub successors: Vec<NodeId>,
+    /// Predecessor list, nearest first (Octopus extension, §4.3).
+    pub predecessors: Vec<NodeId>,
+}
+
+/// The next step of a greedy lookup using one routing table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NextHop {
+    /// The key's owner has been determined.
+    Found(NodeId),
+    /// The lookup should query this node next.
+    Forward(NodeId),
+}
+
+impl RoutingTable {
+    /// An empty table for `owner` (fresh node before stabilization).
+    #[must_use]
+    pub fn empty(owner: NodeId) -> Self {
+        RoutingTable {
+            owner,
+            fingers: Vec::new(),
+            successors: Vec::new(),
+            predecessors: Vec::new(),
+        }
+    }
+
+    /// All distinct routing entries (fingers ∪ successors), the candidate
+    /// set for greedy forwarding.
+    #[must_use]
+    pub fn candidates(&self) -> Vec<NodeId> {
+        let mut c: Vec<NodeId> = self
+            .fingers
+            .iter()
+            .chain(self.successors.iter())
+            .copied()
+            .filter(|&n| n != self.owner)
+            .collect();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// Octopus' greedy routing rule for `key` against this table:
+    ///
+    /// 1. If the key falls between the owner and one of its successors
+    ///    (scanning the successor list in ring order), that successor
+    ///    *is* the key's owner — the lookup completes (§4.3's "use the
+    ///    successor list to speed up the last few hops").
+    /// 2. Otherwise forward to the candidate that most closely *precedes*
+    ///    the key (classic Chord greedy step over fingers ∪ successors).
+    /// 3. With no preceding candidate, fall back to the first successor
+    ///    (guarantees progress on sparse tables).
+    #[must_use]
+    pub fn next_hop(&self, key: Key) -> NextHop {
+        // 1. successor-list completion
+        let mut prev = self.owner;
+        for &s in &self.successors {
+            if key.as_id().is_between_incl(prev, s) {
+                return NextHop::Found(s);
+            }
+            prev = s;
+        }
+        // 2. closest preceding candidate
+        let mut best: Option<(u64, NodeId)> = None;
+        for c in self.candidates() {
+            if c.is_between(self.owner, key.as_id()) {
+                let advance = self.owner.distance_to(c);
+                if best.map_or(true, |(b, _)| advance > b) {
+                    best = Some((advance, c));
+                }
+            }
+        }
+        if let Some((_, c)) = best {
+            return NextHop::Forward(c);
+        }
+        // 3. fallback
+        match self.successors.first() {
+            Some(&s) => NextHop::Forward(s),
+            None => NextHop::Found(self.owner), // isolated node owns everything
+        }
+    }
+
+    /// Number of routing items (fingers + successors) — the quantity the
+    /// wire-size model charges for.
+    #[must_use]
+    pub fn item_count(&self) -> u32 {
+        (self.fingers.len() + self.successors.len()) as u32
+    }
+
+    /// Canonical byte encoding, the content covered by table signatures.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * (2 + self.fingers.len() + self.successors.len() + self.predecessors.len()));
+        out.extend_from_slice(&self.owner.0.to_be_bytes());
+        for (tag, list) in [
+            (0u8, &self.fingers),
+            (1u8, &self.successors),
+            (2u8, &self.predecessors),
+        ] {
+            out.push(tag);
+            out.extend_from_slice(&(list.len() as u32).to_be_bytes());
+            for id in list {
+                out.extend_from_slice(&id.0.to_be_bytes());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RoutingTable {
+        RoutingTable {
+            owner: NodeId(100),
+            fingers: vec![NodeId(200), NodeId(400), NodeId(800)],
+            successors: vec![NodeId(110), NodeId(120), NodeId(130)],
+            predecessors: vec![NodeId(90), NodeId(80)],
+        }
+    }
+
+    #[test]
+    fn successor_completion() {
+        let t = table();
+        assert_eq!(t.next_hop(Key(105)), NextHop::Found(NodeId(110)));
+        assert_eq!(t.next_hop(Key(110)), NextHop::Found(NodeId(110)));
+        assert_eq!(t.next_hop(Key(115)), NextHop::Found(NodeId(120)));
+        assert_eq!(t.next_hop(Key(130)), NextHop::Found(NodeId(130)));
+    }
+
+    #[test]
+    fn greedy_forwarding() {
+        let t = table();
+        // key 500: candidates preceding it are 200, 400 (and succs) → 400
+        assert_eq!(t.next_hop(Key(500)), NextHop::Forward(NodeId(400)));
+        // key 1000: 800 precedes → forward to 800
+        assert_eq!(t.next_hop(Key(1000)), NextHop::Forward(NodeId(800)));
+        // key 150: no finger precedes except successors; 130 is closest preceding
+        assert_eq!(t.next_hop(Key(150)), NextHop::Forward(NodeId(130)));
+    }
+
+    #[test]
+    fn wrapping_key() {
+        let t = table();
+        // key 50 (behind owner, wraps all the way around): the farthest
+        // candidate preceding it clockwise from 100 is 800
+        assert_eq!(t.next_hop(Key(50)), NextHop::Forward(NodeId(800)));
+    }
+
+    #[test]
+    fn fallback_to_first_successor() {
+        let t = RoutingTable {
+            owner: NodeId(100),
+            fingers: vec![],
+            successors: vec![NodeId(110)],
+            predecessors: vec![],
+        };
+        // key 110 covered by succ list
+        assert_eq!(t.next_hop(Key(110)), NextHop::Found(NodeId(110)));
+        // key far away, no fingers: still makes progress via successor
+        assert_eq!(t.next_hop(Key(5000)), NextHop::Forward(NodeId(110)));
+    }
+
+    #[test]
+    fn isolated_node_owns_everything() {
+        let t = RoutingTable::empty(NodeId(7));
+        assert_eq!(t.next_hop(Key(123)), NextHop::Found(NodeId(7)));
+    }
+
+    #[test]
+    fn candidates_deduped_without_owner() {
+        let mut t = table();
+        t.fingers.push(NodeId(110)); // duplicate of a successor
+        t.fingers.push(NodeId(100)); // owner itself
+        let c = t.candidates();
+        assert_eq!(c.iter().filter(|&&n| n == NodeId(110)).count(), 1);
+        assert!(!c.contains(&NodeId(100)));
+    }
+
+    #[test]
+    fn encode_is_injective_across_lists() {
+        // same ids distributed differently must encode differently
+        let a = RoutingTable {
+            owner: NodeId(1),
+            fingers: vec![NodeId(2)],
+            successors: vec![],
+            predecessors: vec![],
+        };
+        let b = RoutingTable {
+            owner: NodeId(1),
+            fingers: vec![],
+            successors: vec![NodeId(2)],
+            predecessors: vec![],
+        };
+        assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn item_count_charges_fingers_and_successors() {
+        assert_eq!(table().item_count(), 6);
+    }
+}

@@ -1,0 +1,1093 @@
+//! The Octopus peer: state, message dispatch, stabilization, and the
+//! response paths where a malicious peer deviates.
+//!
+//! One type plays both roles. Honest behaviour is the default; a node
+//! carrying a [`SharedAdversary`] handle fabricates responses according
+//! to the active [`AttackKind`](crate::adversary::AttackKind). Keeping
+//! both in one implementation guarantees attackers and defenders see
+//! exactly the same protocol surface — a malicious node cannot tell a
+//! surveillance query from a real lookup query, which is precisely the
+//! property §4.3 relies on.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use octopus_chord::signed::successor_list_table;
+use octopus_chord::{
+    stabilize, BoundChecker, ChordConfig, RoutingTable, SignedRoutingTable, SignedSuccessorList,
+};
+use octopus_crypto::{Certificate, KeyPair, PublicKey};
+use octopus_id::{Key, NodeId};
+use octopus_net::{Addr, Ctx, NodeBehavior};
+use octopus_sim::Duration;
+use rand::Rng;
+
+use crate::adversary::{AttackKind, SharedAdversary};
+use crate::config::OctopusConfig;
+use crate::lookup::LookupState;
+use crate::messages::{receipt_bytes, ExitAction, Hop, Msg, OnionPacket, ReceiptToken, Report, Timer};
+use crate::simnet::Control;
+use crate::surveillance::FingerCheck;
+use crate::walk::{DelegatedWalk, WalkState};
+
+/// Handler context alias used throughout the node implementation.
+pub(crate) type NodeCtx<'a> = Ctx<'a, Msg, Timer, Control>;
+
+/// Why an anonymous (onion-routed) query was sent — recalled when the
+/// reply comes back on the flow.
+#[derive(Clone, Debug)]
+pub(crate) enum AnonPurpose {
+    /// A (real or dummy) query of an application lookup.
+    LookupQuery {
+        /// Lookup id.
+        lookup: u64,
+        /// Dummy queries are fired and forgotten.
+        dummy: bool,
+    },
+    /// Secret neighbor surveillance test of a predecessor (§4.3).
+    NeighborCheck {
+        /// The predecessor under test.
+        target: NodeId,
+    },
+    /// Stage 2 of a finger check (§4.4/§4.5): query P′₁'s table.
+    FingerStage2 {
+        /// The check id.
+        check: u64,
+    },
+    /// A phase-1 random-walk hop queried through the partial path.
+    WalkQuery {
+        /// The walk id.
+        walk: u64,
+    },
+    /// The phase-2 delegation message to Uₗ.
+    WalkDelegate {
+        /// The walk id.
+        walk: u64,
+    },
+}
+
+/// Why a *direct* request was sent.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum DirectPurpose {
+    /// Clockwise stabilization with our first successor.
+    StabSucc {
+        /// The queried successor.
+        peer: NodeId,
+    },
+    /// Anticlockwise stabilization with our first predecessor.
+    StabPred {
+        /// The queried predecessor.
+        peer: NodeId,
+    },
+    /// First hop of a random walk (queried directly).
+    WalkFirstHop {
+        /// The walk id.
+        walk: u64,
+    },
+    /// One step of a (non-anonymous) finger-update lookup.
+    FingerLookupStep {
+        /// The finger-lookup id.
+        fl: u64,
+    },
+    /// `GetPredList` to a suspect finger F′ (stage 1 of a finger check).
+    FingerPredList {
+        /// The check id.
+        check: u64,
+    },
+    /// One step of a *delegated* walk phase 2 (we are Uₗ).
+    Phase2Step {
+        /// Flow of the phase-1 path the result must return on.
+        flow: u64,
+    },
+}
+
+/// State kept while relaying someone else's flow.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RelayFlow {
+    /// Where the flow came from (reply direction).
+    pub prev: NodeId,
+}
+
+/// A non-anonymous iterative finger-update lookup in progress (§4.5).
+#[derive(Clone, Debug)]
+pub(crate) struct FingerLookup {
+    /// Which finger is being refreshed.
+    pub index: u32,
+    /// The ideal finger target.
+    pub target: Key,
+    /// Hops taken so far.
+    pub hops: usize,
+}
+
+/// An Octopus peer.
+pub struct OctopusNode {
+    /// Ring position.
+    pub id: NodeId,
+    pub(crate) cfg: OctopusConfig,
+    pub(crate) keypair: KeyPair,
+    pub(crate) cert: Certificate,
+    pub(crate) ca_addr: NodeId,
+    pub(crate) ca_key: PublicKey,
+
+    // ---- ring state ----
+    pub(crate) successors: Vec<NodeId>,
+    pub(crate) predecessors: Vec<NodeId>,
+    pub(crate) fingers: Vec<NodeId>,
+
+    // ---- proofs and buffers ----
+    pub(crate) proof_queue: VecDeque<SignedSuccessorList>,
+    pub(crate) table_buffer: VecDeque<SignedRoutingTable>,
+    pub(crate) relay_pool: VecDeque<(NodeId, NodeId)>,
+
+    // ---- request tracking ----
+    pub(crate) next_req: u64,
+    pub(crate) direct_pending: HashMap<u64, DirectPurpose>,
+    pub(crate) anon_pending: HashMap<u64, (AnonPurpose, Vec<NodeId>)>,
+    pub(crate) lookups: HashMap<u64, LookupState>,
+    pub(crate) walks: HashMap<u64, WalkState>,
+    pub(crate) delegated: HashMap<u64, DelegatedWalk>,
+    pub(crate) finger_lookups: HashMap<u64, FingerLookup>,
+    pub(crate) checks: HashMap<u64, FingerCheck>,
+
+    // ---- relaying ----
+    pub(crate) relay_flows: HashMap<u64, RelayFlow>,
+    pub(crate) exit_flows: HashMap<u64, u64>, // exit req -> flow
+    pub(crate) receipts: HashMap<u64, ReceiptToken>, // flow -> receipt held
+    pub(crate) awaiting_receipt: HashMap<u64, NodeId>, // flow -> next hop
+
+    // ---- finger adoption provenance (per slot): the third-party
+    // signed list that justified the finger, shown to the CA when the
+    // finger is challenged ----
+    pub(crate) finger_prov: HashMap<u32, SignedSuccessorList>,
+
+    // ---- misc ----
+    pub(crate) revoked: HashSet<NodeId>,
+    pub(crate) adversary: Option<SharedAdversary>,
+    /// Lookups completed by this node (diagnostics).
+    pub lookups_done: u64,
+}
+
+impl OctopusNode {
+    /// Create a peer. `adversary` is `Some` for malicious nodes.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        id: NodeId,
+        cfg: OctopusConfig,
+        keypair: KeyPair,
+        cert: Certificate,
+        ca_addr: NodeId,
+        ca_key: PublicKey,
+        adversary: Option<SharedAdversary>,
+    ) -> Self {
+        OctopusNode {
+            id,
+            cfg,
+            keypair,
+            cert,
+            ca_addr,
+            ca_key,
+            successors: Vec::new(),
+            predecessors: Vec::new(),
+            fingers: Vec::new(),
+            proof_queue: VecDeque::new(),
+            table_buffer: VecDeque::new(),
+            relay_pool: VecDeque::new(),
+            next_req: 1,
+            direct_pending: HashMap::new(),
+            anon_pending: HashMap::new(),
+            lookups: HashMap::new(),
+            walks: HashMap::new(),
+            delegated: HashMap::new(),
+            finger_lookups: HashMap::new(),
+            checks: HashMap::new(),
+            relay_flows: HashMap::new(),
+            exit_flows: HashMap::new(),
+            receipts: HashMap::new(),
+            awaiting_receipt: HashMap::new(),
+            finger_prov: HashMap::new(),
+            revoked: HashSet::new(),
+            adversary,
+            lookups_done: 0,
+        }
+    }
+
+    /// Seed the node's ring state (idealized join — see DESIGN.md: the
+    /// driver plays the role of the join protocol; stabilization then
+    /// maintains the state).
+    pub fn seed_state(
+        &mut self,
+        successors: Vec<NodeId>,
+        predecessors: Vec<NodeId>,
+        fingers: Vec<NodeId>,
+        relay_pairs: Vec<(NodeId, NodeId)>,
+    ) {
+        self.successors = successors;
+        self.predecessors = predecessors;
+        self.fingers = fingers;
+        self.relay_pool = relay_pairs.into();
+    }
+
+    /// Is this node malicious?
+    #[must_use]
+    pub fn is_malicious(&self) -> bool {
+        self.adversary.is_some()
+    }
+
+    /// Current successor list (tests/driver).
+    #[must_use]
+    pub fn successors(&self) -> &[NodeId] {
+        &self.successors
+    }
+
+    /// Current predecessor list.
+    #[must_use]
+    pub fn predecessors(&self) -> &[NodeId] {
+        &self.predecessors
+    }
+
+    /// Current fingertable.
+    #[must_use]
+    pub fn fingers(&self) -> &[NodeId] {
+        &self.fingers
+    }
+
+    /// Relay pool size (tests).
+    #[must_use]
+    pub fn relay_pool_len(&self) -> usize {
+        self.relay_pool.len()
+    }
+
+    /// Driver-side: record the provenance justifying finger `slot`
+    /// (the idealized join protocol runs checked lookups, so seeded
+    /// fingers come with the same evidence real adoptions produce).
+    pub fn set_finger_provenance(&mut self, slot: u32, prov: SignedSuccessorList) {
+        self.finger_prov.insert(slot, prov);
+    }
+
+    /// Driver-side repair: replace the successor list (used by the
+    /// simulation's emergency re-join when mass revocation empties a
+    /// node's neighborhood).
+    pub fn set_successors(&mut self, successors: Vec<NodeId>) {
+        self.successors = successors;
+    }
+
+    /// Driver-side repair: replace the predecessor list.
+    pub fn set_predecessors(&mut self, predecessors: Vec<NodeId>) {
+        self.predecessors = predecessors;
+    }
+
+    pub(crate) fn fresh_req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        // node-unique ids: interleave the node id's low bits so flows
+        // from different nodes never collide at relays
+        (r << 20) | (self.id.0 & 0xFFFFF)
+    }
+
+    /// The node's honest routing table.
+    #[must_use]
+    pub fn routing_table(&self) -> RoutingTable {
+        RoutingTable {
+            owner: self.id,
+            fingers: self.fingers.clone(),
+            successors: self.successors.clone(),
+            predecessors: self.predecessors.clone(),
+        }
+    }
+
+    pub(crate) fn chord(&self) -> ChordConfig {
+        self.cfg.chord
+    }
+
+    pub(crate) fn sign_table(&self, table: RoutingTable, now_secs: u64) -> SignedRoutingTable {
+        SignedRoutingTable::sign(table, now_secs, &self.keypair, self.cert)
+    }
+
+    /// The bound used both to *check* received fingertables and by the
+    /// adversary to stay under the detection radar.
+    pub(crate) fn bound_checker(&self) -> BoundChecker {
+        BoundChecker::from_successor_list(self.chord(), self.id, &self.successors)
+    }
+
+    /// All node ids this peer currently knows — dummy-query candidates.
+    pub(crate) fn known_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .fingers
+            .iter()
+            .chain(self.successors.iter())
+            .chain(self.predecessors.iter())
+            .chain(self.table_buffer.iter().map(|t| &t.table.owner))
+            .copied()
+            .filter(|&n| n != self.id && !self.revoked.contains(&n))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Take a random relay pair from the pool (pairs are reusable; the
+    /// pool is refreshed by periodic walks).
+    pub(crate) fn sample_relay_pair(&mut self, rng: &mut impl Rng) -> Option<(NodeId, NodeId)> {
+        if self.relay_pool.is_empty() {
+            return None;
+        }
+        let i = rng.gen_range(0..self.relay_pool.len());
+        Some(self.relay_pool[i])
+    }
+
+    pub(crate) fn push_relay_pair(&mut self, pair: (NodeId, NodeId)) {
+        if self.relay_pool.len() >= 16 {
+            self.relay_pool.pop_front();
+        }
+        self.relay_pool.push_back(pair);
+    }
+
+    // ------------------------------------------------------------------
+    // Response fabrication: where malicious nodes deviate.
+    // ------------------------------------------------------------------
+
+    /// The successor list this node *presents* right now (honest, or
+    /// manipulated per the active attack).
+    pub(crate) fn presented_successors(&self, rng: &mut impl Rng, stabilization: bool) -> Vec<NodeId> {
+        if let Some(adv) = &self.adversary {
+            let adv = adv.borrow();
+            let manipulate = match adv.kind() {
+                // lookup bias manipulates query responses AND pollutes
+                // stabilization (Fig. 2(a)/(b))
+                AttackKind::LookupBias => adv.attacks_now(rng),
+                // under the finger attacks, malicious nodes cover for
+                // colluding fingers by presenting consistent
+                // colluders-only successor lists with probability 50 %
+                // (Table 2 caption). Stabilization stays honest — the
+                // succ-list attack is not the experiment's subject.
+                AttackKind::FingerManipulation | AttackKind::FingerPollution => {
+                    !stabilization && adv.colludes_consistently(rng)
+                }
+                AttackKind::Passive | AttackKind::SelectiveDos => false,
+            };
+            if manipulate {
+                let fake = adv.fake_successor_list(self.id, self.cfg.chord.successors);
+                if !fake.is_empty() {
+                    return fake;
+                }
+            }
+        }
+        self.successors.clone()
+    }
+
+    /// The fingertable this node presents.
+    pub(crate) fn presented_fingers(&self, rng: &mut impl Rng) -> Vec<NodeId> {
+        if let Some(adv) = &self.adversary {
+            let adv = adv.borrow();
+            let manipulate = matches!(
+                adv.kind(),
+                AttackKind::FingerManipulation | AttackKind::FingerPollution
+            ) && adv.attacks_now(rng);
+            if manipulate {
+                let bound = (self.bound_checker().mean_spacing() as f64
+                    * BoundChecker::DEFAULT_BETA) as u64;
+                return adv.fake_fingers(self.id, self.cfg.chord, &self.fingers, bound);
+            }
+        }
+        self.fingers.clone()
+    }
+
+    /// The predecessor list this node presents. Under the finger
+    /// attacks, malicious nodes always hide their honest predecessors
+    /// behind colluders (§4.4: F′ "has to manipulate its predecessor
+    /// list" or be caught immediately).
+    pub(crate) fn presented_predecessors(&self) -> Vec<NodeId> {
+        if let Some(adv) = &self.adversary {
+            let adv = adv.borrow();
+            if matches!(
+                adv.kind(),
+                AttackKind::FingerManipulation | AttackKind::FingerPollution
+            ) {
+                let fake = adv.fake_predecessor_list(self.id, self.cfg.chord.predecessors);
+                if !fake.is_empty() {
+                    return fake;
+                }
+            }
+        }
+        self.predecessors.clone()
+    }
+
+    /// Build and sign the routing table presented to a `GetTable` query.
+    pub(crate) fn presented_table(&self, ctx: &mut NodeCtx<'_>) -> SignedRoutingTable {
+        let now = ctx.now().as_secs_f64() as u64;
+        let table = RoutingTable {
+            owner: self.id,
+            fingers: self.presented_fingers(ctx.rng()),
+            successors: self.presented_successors(ctx.rng(), false),
+            predecessors: self.presented_predecessors(),
+        };
+        self.sign_table(table, now)
+    }
+
+    /// Should a malicious relay drop this onion forward? (Appendix II:
+    /// drop when the relay adjacent to the initiator is not a colluder,
+    /// i.e. the circuit cannot be compromised anyway.)
+    pub(crate) fn drops_flow(&self, prev: NodeId, rng: &mut impl Rng) -> bool {
+        let Some(adv) = &self.adversary else {
+            return false;
+        };
+        let adv = adv.borrow();
+        adv.kind() == AttackKind::SelectiveDos && !adv.is_colluder(prev) && adv.attacks_now(rng)
+    }
+
+    // ------------------------------------------------------------------
+    // Anonymous query plumbing.
+    // ------------------------------------------------------------------
+
+    /// Send an anonymous `GetTable` to `target` through `relays`,
+    /// registering `purpose` for the reply. Returns the flow id.
+    pub(crate) fn send_anonymous_query(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        relays: &[NodeId],
+        target: NodeId,
+        purpose: AnonPurpose,
+    ) -> u64 {
+        self.send_anon_action(ctx, relays, ExitAction::QueryTable { target }, purpose)
+    }
+
+    /// Send any onion-wrapped action through `relays`. Returns the flow.
+    pub(crate) fn send_anon_action(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        relays: &[NodeId],
+        action: ExitAction,
+        purpose: AnonPurpose,
+    ) -> u64 {
+        let flow = self.fresh_req();
+        let route: Vec<Hop> = relays
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| Hop {
+                node,
+                delay: i == 1, // the second relay (B) adds the anti-timing delay
+            })
+            .collect();
+        debug_assert!(!route.is_empty(), "anonymous query needs at least one relay");
+        let first = route[0].node;
+        let packet = OnionPacket {
+            flow,
+            route: route[1..].to_vec(),
+            action,
+        };
+        self.anon_pending.insert(flow, (purpose, relays.to_vec()));
+        self.awaiting_receipt.insert(flow, first);
+        ctx.send(first, Msg::Onion(packet));
+        ctx.set_timer(self.cfg.request_timeout, Timer::RequestTimeout { req: flow });
+        ctx.set_timer(Duration::from_millis(800), Timer::ReceiptDeadline { flow });
+        flow
+    }
+
+    /// Send a direct request with timeout tracking.
+    pub(crate) fn send_direct(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        to: NodeId,
+        msg_for: impl FnOnce(u64) -> Msg,
+        purpose: DirectPurpose,
+    ) -> u64 {
+        let req = self.fresh_req();
+        self.direct_pending.insert(req, purpose);
+        ctx.send(to, msg_for(req));
+        ctx.set_timer(self.cfg.request_timeout, Timer::RequestTimeout { req });
+        req
+    }
+
+    // ------------------------------------------------------------------
+    // Stabilization (§4.3: clockwise + anticlockwise, every 2 s).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn stabilize(&mut self, ctx: &mut NodeCtx<'_>) {
+        if let Some(&s1) = self.successors.first() {
+            self.send_direct(
+                ctx,
+                s1,
+                |req| Msg::GetSuccList { req },
+                DirectPurpose::StabSucc { peer: s1 },
+            );
+        }
+        if let Some(&p1) = self.predecessors.first() {
+            self.send_direct(
+                ctx,
+                p1,
+                |req| Msg::GetPredList { req },
+                DirectPurpose::StabPred { peer: p1 },
+            );
+        }
+        ctx.set_timer(self.cfg.stabilize_every, Timer::Stabilize);
+    }
+
+    pub(crate) fn on_succ_list(&mut self, peer: NodeId, list: SignedSuccessorList) {
+        if list.owner() != peer {
+            return; // mis-signed response
+        }
+        // keep the signed list as a proof (§4.3's proof queue)
+        if self.proof_queue.len() >= self.cfg.proof_queue {
+            self.proof_queue.pop_front();
+        }
+        self.proof_queue.push_back(list.clone());
+        let merged = stabilize::merge_successor_list(
+            self.id,
+            peer,
+            &list.table.successors,
+            self.cfg.chord.successors,
+        );
+        let merged: Vec<NodeId> = merged
+            .into_iter()
+            .filter(|n| !self.revoked.contains(n))
+            .collect();
+        if !merged.is_empty() {
+            self.successors = merged;
+        }
+    }
+
+    pub(crate) fn on_pred_list(&mut self, peer: NodeId, list: &SignedRoutingTable) {
+        if list.owner() != peer {
+            return;
+        }
+        let merged = stabilize::merge_predecessor_list(
+            self.id,
+            peer,
+            &list.table.predecessors,
+            self.cfg.chord.predecessors,
+        );
+        let merged: Vec<NodeId> = merged
+            .into_iter()
+            .filter(|n| !self.revoked.contains(n))
+            .collect();
+        if !merged.is_empty() {
+            self.predecessors = merged;
+        }
+    }
+
+    /// A peer failed to answer: drop it from neighbor lists (Chord's
+    /// failure handling; the lists re-heal from later stabilization).
+    pub(crate) fn on_peer_dead(&mut self, peer: NodeId) {
+        stabilize::drop_head(&mut self.successors, peer);
+        stabilize::drop_head(&mut self.predecessors, peer);
+        self.relay_pool.retain(|&(a, b)| a != peer && b != peer);
+    }
+
+    /// Learn about a node directly adjacent on the ring (driver-assisted
+    /// join announcement; see DESIGN.md).
+    pub fn learn_neighbor(&mut self, joiner: NodeId) {
+        if joiner == self.id || self.revoked.contains(&joiner) {
+            return;
+        }
+        // insert in clockwise order if it belongs in the successor span
+        insert_ordered(self.id, &mut self.successors, joiner, self.cfg.chord.successors, true);
+        insert_ordered(self.id, &mut self.predecessors, joiner, self.cfg.chord.predecessors, false);
+    }
+
+    /// Handle a revocation notice from the CA.
+    pub(crate) fn on_revocation(&mut self, revoked: &[NodeId]) {
+        for &r in revoked {
+            self.revoked.insert(r);
+            stabilize::drop_head(&mut self.successors, r);
+            stabilize::drop_head(&mut self.predecessors, r);
+            for f in &mut self.fingers {
+                if *f == r {
+                    // temporarily self-point; the next finger update heals it
+                    *f = self.id;
+                }
+            }
+            self.relay_pool.retain(|&(a, b)| a != r && b != r);
+            self.table_buffer.retain(|t| t.owner() != r);
+        }
+    }
+
+    pub(crate) fn buffer_table(&mut self, table: SignedRoutingTable) {
+        if self.revoked.contains(&table.owner()) {
+            return;
+        }
+        if self.table_buffer.len() >= self.cfg.table_buffer {
+            self.table_buffer.pop_front();
+        }
+        self.table_buffer.push_back(table);
+    }
+
+    /// File a report with the CA.
+    pub(crate) fn file_report(&mut self, ctx: &mut NodeCtx<'_>, report: Report) {
+        ctx.send(self.ca_addr, Msg::Report(Box::new(report)));
+    }
+
+    /// Produce the justification for finger `slot` when the CA
+    /// challenges it. A malicious node whose presented finger was a
+    /// colluder fabricates fresh provenance signed by another colluder —
+    /// buying time at the cost of sacrificing the signer (§4.4's
+    /// economics).
+    fn provenance_for(&mut self, ctx: &mut NodeCtx<'_>, slot: u32) -> Option<SignedSuccessorList> {
+        if slot >= self.cfg.chord.fingers {
+            return None;
+        }
+        let ideal = self.chord().finger_target(self.id, slot);
+        if let Some(adv) = &self.adversary {
+            let adv = adv.borrow();
+            if matches!(
+                adv.kind(),
+                AttackKind::FingerManipulation | AttackKind::FingerPollution
+            ) {
+                if let Some(fprime) = adv.next_colluder_after(ideal.as_id()) {
+                    let now = ctx.now().as_secs_f64() as u64;
+                    if let Some(fabricated) =
+                        adv.fabricate_provenance(ideal, fprime, self.cfg.chord.successors, now)
+                    {
+                        return Some(fabricated);
+                    }
+                }
+            }
+        }
+        self.finger_prov.get(&slot).cloned()
+    }
+}
+
+/// Insert `joiner` into an ordered neighbor list if it falls within the
+/// list's current span (or the list is undersized).
+fn insert_ordered(own: NodeId, list: &mut Vec<NodeId>, joiner: NodeId, cap: usize, clockwise: bool) {
+    if list.contains(&joiner) {
+        return;
+    }
+    let dist = |n: NodeId| {
+        if clockwise {
+            own.distance_to(n)
+        } else {
+            n.distance_to(own)
+        }
+    };
+    let d = dist(joiner);
+    if d == 0 {
+        return;
+    }
+    let pos = list.iter().position(|&n| dist(n) > d);
+    match pos {
+        Some(i) => {
+            list.insert(i, joiner);
+            list.truncate(cap);
+        }
+        // beyond the current span: only adopt when we know nothing yet —
+        // otherwise stabilization (not the announcement) extends the list
+        None if list.is_empty() => list.push(joiner),
+        None => {}
+    }
+}
+
+// ----------------------------------------------------------------------
+// NodeBehavior: dispatch.
+// ----------------------------------------------------------------------
+
+impl NodeBehavior for OctopusNode {
+    type Msg = Msg;
+    type Timer = Timer;
+    type Control = Control;
+
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        // desynchronize periodic timers across nodes
+        let jitter = |ctx: &mut NodeCtx<'_>, base: Duration| {
+            Duration((ctx.rng().gen::<u64>() % base.0.max(1)).max(1))
+        };
+        let t = jitter(ctx, self.cfg.stabilize_every);
+        ctx.set_timer(t, Timer::Stabilize);
+        let t = jitter(ctx, self.cfg.finger_update_every);
+        ctx.set_timer(t, Timer::FingerUpdate);
+        let t = jitter(ctx, self.cfg.surveillance_every);
+        ctx.set_timer(t, Timer::Surveillance);
+        let t = jitter(ctx, self.cfg.walk_every);
+        ctx.set_timer(t, Timer::Walk);
+        let t = jitter(ctx, self.cfg.lookup_every);
+        ctx.set_timer(t, Timer::Lookup);
+    }
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: Addr, msg: Msg) {
+        match msg {
+            // ---- serving requests ----
+            Msg::GetSuccList { req } => {
+                let now = ctx.now().as_secs_f64() as u64;
+                let succ = self.presented_successors(ctx.rng(), true);
+                let list = self.sign_table(successor_list_table(self.id, succ), now);
+                ctx.send(from, Msg::SuccList { req, list: Box::new(list) });
+            }
+            Msg::GetPredList { req } => {
+                let now = ctx.now().as_secs_f64() as u64;
+                let table = RoutingTable {
+                    owner: self.id,
+                    fingers: Vec::new(),
+                    successors: Vec::new(),
+                    predecessors: self.presented_predecessors(),
+                };
+                let list = self.sign_table(table, now);
+                ctx.send(from, Msg::PredList { req, list: Box::new(list) });
+            }
+            Msg::GetTable { req } => {
+                let table = self.presented_table(ctx);
+                ctx.send(from, Msg::Table { req, table: Box::new(table) });
+            }
+
+            // ---- replies to our direct requests ----
+            Msg::SuccList { req, list } => {
+                if let Some(purpose) = self.direct_pending.remove(&req) {
+                    if let DirectPurpose::StabSucc { peer } = purpose {
+                        if list.verify(self.ca_key, ctx.now().as_secs_f64() as u64).is_ok() {
+                            self.on_succ_list(peer, *list);
+                        }
+                    }
+                }
+            }
+            Msg::PredList { req, list } => {
+                let Some(purpose) = self.direct_pending.remove(&req) else {
+                    return;
+                };
+                match purpose {
+                    DirectPurpose::StabPred { peer } => {
+                        if list.verify(self.ca_key, ctx.now().as_secs_f64() as u64).is_ok() {
+                            self.on_pred_list(peer, &list);
+                        }
+                    }
+                    DirectPurpose::FingerPredList { check } => {
+                        self.on_finger_pred_list(ctx, check, *list);
+                    }
+                    _ => {}
+                }
+            }
+            Msg::Table { req, table } => {
+                if let Some(purpose) = self.direct_pending.remove(&req) {
+                    self.on_direct_table(ctx, purpose, *table);
+                } else if let Some(flow) = self.exit_flows.remove(&req) {
+                    // we are an exit relay: carry the reply back
+                    if let Some(rf) = self.relay_flows.get(&flow) {
+                        let payload = Msg::Table { req: flow, table };
+                        ctx.send(rf.prev, Msg::OnionReply { flow, payload: Box::new(payload) });
+                    }
+                }
+            }
+
+            // ---- onion relaying ----
+            Msg::Onion(packet) => self.on_onion(ctx, from, packet),
+            Msg::OnionReply { flow, payload } => self.on_onion_reply(ctx, from, flow, *payload),
+            Msg::Receipt { token } => {
+                if let Some(expected) = self.awaiting_receipt.get(&token.flow) {
+                    if *expected == token.signer && token.signer == from {
+                        self.awaiting_receipt.remove(&token.flow);
+                        self.receipts.insert(token.flow, token);
+                    }
+                }
+            }
+            Msg::WalkResult { .. } => { /* only valid inside OnionReply */ }
+
+            // ---- CA interactions ----
+            Msg::CaProofRequest { case } => {
+                let now = ctx.now().as_secs_f64() as u64;
+                // present our *current honest* successor list plus the
+                // proof queue; a malicious node gains nothing by lying
+                // here (forged proofs fail signature checks)
+                let own =
+                    self.sign_table(successor_list_table(self.id, self.successors.clone()), now);
+                ctx.send(
+                    from,
+                    Msg::CaProofReply {
+                        case,
+                        own_list: Box::new(own),
+                        proofs: self.proof_queue.iter().cloned().collect(),
+                    },
+                );
+            }
+            Msg::CaReceiptRequest { case, flow } => {
+                ctx.send(
+                    from,
+                    Msg::CaReceiptReply {
+                        case,
+                        flow,
+                        receipt: self.receipts.get(&flow).copied(),
+                    },
+                );
+            }
+            Msg::CaProvRequest { case, slot } => {
+                let prov = self.provenance_for(ctx, slot);
+                ctx.send(from, Msg::CaProvReply { case, prov: prov.map(Box::new) });
+            }
+            Msg::Revocation { revoked } => self.on_revocation(&revoked),
+
+            // messages only the CA consumes
+            Msg::Report(_)
+            | Msg::CaProofReply { .. }
+            | Msg::CaReceiptReply { .. }
+            | Msg::CaProvReply { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: Timer) {
+        match timer {
+            Timer::Stabilize => self.stabilize(ctx),
+            Timer::FingerUpdate => {
+                self.start_finger_update(ctx);
+                ctx.set_timer(self.cfg.finger_update_every, Timer::FingerUpdate);
+            }
+            Timer::Surveillance => {
+                self.run_surveillance(ctx);
+                ctx.set_timer(self.cfg.surveillance_every, Timer::Surveillance);
+            }
+            Timer::Walk => {
+                self.start_walk(ctx);
+                ctx.set_timer(self.cfg.walk_every, Timer::Walk);
+            }
+            Timer::Lookup => {
+                let key = Key(ctx.rng().gen());
+                self.start_lookup(ctx, key);
+                ctx.set_timer(self.cfg.lookup_every, Timer::Lookup);
+            }
+            Timer::RequestTimeout { req } => self.on_request_timeout(ctx, req),
+            Timer::FingerCheckStage2 { check } => self.finger_check_stage2(ctx, check),
+            Timer::ReceiptDeadline { flow } => {
+                // in the simulated network a missing receipt only means
+                // the next hop died mid-flight; the end-to-end timeout
+                // (and the CA's receipt walk) handles droppers, who ack
+                // before dropping to avoid immediate local blame
+                self.awaiting_receipt.remove(&flow);
+            }
+            Timer::CaCaseTimeout { .. } => { /* CA-only timer */ }
+        }
+    }
+}
+
+impl OctopusNode {
+    fn receipt_token(&self, flow: u64) -> ReceiptToken {
+        ReceiptToken {
+            flow,
+            signer: self.id,
+            sig: self.keypair.sign(&receipt_bytes(flow)),
+        }
+    }
+
+    fn on_onion(&mut self, ctx: &mut NodeCtx<'_>, from: Addr, mut packet: OnionPacket) {
+        // acknowledge receipt to the previous hop (DoS defense). Droppers
+        // also ack — refusing would pin the blame locally and instantly.
+        let token = self.receipt_token(packet.flow);
+        ctx.send(from, Msg::Receipt { token });
+        if self.drops_flow(from, ctx.rng()) {
+            return; // selective DoS: silently drop after the receipt
+        }
+        self.relay_flows
+            .insert(packet.flow, RelayFlow { prev: from });
+        if packet.route.is_empty() {
+            // we are the exit relay: act on the initiator's behalf
+            match packet.action {
+                ExitAction::QueryTable { target } => {
+                    let req = self.fresh_req();
+                    self.exit_flows.insert(req, packet.flow);
+                    ctx.send(target, Msg::GetTable { req });
+                }
+                ExitAction::Delegate { seed, length, fingers } => {
+                    self.on_walk_delegate(ctx, packet.flow, seed, length, fingers);
+                }
+            }
+        } else {
+            let hop = packet.route.remove(0);
+            let flow = packet.flow;
+            self.awaiting_receipt.insert(flow, hop.node);
+            ctx.set_timer(Duration::from_millis(800), Timer::ReceiptDeadline { flow });
+            let delay = if hop.delay {
+                Duration::from_millis(
+                    ctx.rng()
+                        .gen_range(0..=self.cfg.relay_max_delay.as_millis_f64() as u64),
+                )
+            } else {
+                Duration::ZERO
+            };
+            ctx.send_delayed(hop.node, Msg::Onion(packet), delay);
+        }
+    }
+
+    fn on_onion_reply(&mut self, ctx: &mut NodeCtx<'_>, _from: Addr, flow: u64, payload: Msg) {
+        if let Some((purpose, relays)) = self.anon_pending.remove(&flow) {
+            // the reply reached the initiator
+            self.receipts.remove(&flow);
+            self.handle_anon_reply(ctx, flow, purpose, relays, payload);
+            return;
+        }
+        if let Some(rf) = self.relay_flows.remove(&flow) {
+            // the flow completed; its receipt is no longer evidence
+            self.receipts.remove(&flow);
+            ctx.send(rf.prev, Msg::OnionReply { flow, payload: Box::new(payload) });
+        }
+    }
+
+    /// Dispatch a `Table` reply to a direct request.
+    fn on_direct_table(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        purpose: DirectPurpose,
+        table: octopus_chord::SignedRoutingTable,
+    ) {
+        match purpose {
+            DirectPurpose::WalkFirstHop { walk } => self.on_walk_table(ctx, walk, table),
+            DirectPurpose::FingerLookupStep { fl } => self.on_finger_lookup_table(ctx, fl, table),
+            DirectPurpose::Phase2Step { flow } => self.on_phase2_table(ctx, flow, table),
+            DirectPurpose::StabSucc { .. }
+            | DirectPurpose::StabPred { .. }
+            | DirectPurpose::FingerPredList { .. } => {}
+        }
+    }
+
+    fn on_request_timeout(&mut self, ctx: &mut NodeCtx<'_>, req: u64) {
+        if let Some(purpose) = self.direct_pending.remove(&req) {
+            match purpose {
+                DirectPurpose::StabSucc { peer } | DirectPurpose::StabPred { peer } => {
+                    self.on_peer_dead(peer);
+                }
+                DirectPurpose::WalkFirstHop { walk } => self.abort_walk(ctx, walk),
+                DirectPurpose::FingerLookupStep { fl } => {
+                    self.finger_lookups.remove(&fl);
+                }
+                DirectPurpose::FingerPredList { check } => {
+                    self.checks.remove(&check);
+                }
+                DirectPurpose::Phase2Step { flow } => {
+                    self.delegated.remove(&flow);
+                }
+            }
+            return;
+        }
+        if let Some((purpose, relays)) = self.anon_pending.remove(&req) {
+            self.handle_anon_timeout(ctx, req, purpose, relays);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_crypto::CertificateAuthority;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub(crate) fn test_node(id: u64) -> OctopusNode {
+        let mut rng = StdRng::seed_from_u64(id ^ 0xBEEF);
+        let mut ca = CertificateAuthority::new(&mut rng);
+        let kp = KeyPair::generate(&mut rng);
+        let cert = ca.issue(NodeId(id), 1, kp.public(), u64::MAX);
+        OctopusNode::new(
+            NodeId(id),
+            OctopusConfig::default(),
+            kp,
+            cert,
+            NodeId(u64::MAX),
+            ca.public_key(),
+            None,
+        )
+    }
+
+    #[test]
+    fn fresh_req_unique_per_node() {
+        let mut a = test_node(1);
+        let mut b = test_node(2);
+        let ra: Vec<u64> = (0..5).map(|_| a.fresh_req()).collect();
+        let rb: Vec<u64> = (0..5).map(|_| b.fresh_req()).collect();
+        for x in &ra {
+            assert!(!rb.contains(x), "req ids must not collide across nodes");
+        }
+    }
+
+    #[test]
+    fn learn_neighbor_orders_lists() {
+        let mut n = test_node(100);
+        n.seed_state(vec![NodeId(120)], vec![NodeId(80)], vec![], vec![]);
+        n.learn_neighbor(NodeId(110));
+        assert_eq!(n.successors(), &[NodeId(110), NodeId(120)]);
+        n.learn_neighbor(NodeId(90));
+        assert_eq!(n.predecessors(), &[NodeId(90), NodeId(80)]);
+        // duplicate ignored
+        n.learn_neighbor(NodeId(110));
+        assert_eq!(n.successors().len(), 2);
+    }
+
+    #[test]
+    fn revocation_purges_state() {
+        let mut n = test_node(100);
+        n.seed_state(
+            vec![NodeId(120), NodeId(130)],
+            vec![NodeId(80)],
+            vec![NodeId(120), NodeId(500)],
+            vec![(NodeId(120), NodeId(600)), (NodeId(700), NodeId(800))],
+        );
+        n.on_revocation(&[NodeId(120)]);
+        assert_eq!(n.successors(), &[NodeId(130)]);
+        assert_eq!(n.fingers()[0], NodeId(100), "revoked finger self-points");
+        assert_eq!(n.relay_pool_len(), 1);
+        assert!(n.revoked.contains(&NodeId(120)));
+        // a revoked node cannot be re-learned
+        n.learn_neighbor(NodeId(120));
+        assert!(!n.successors().contains(&NodeId(120)));
+    }
+
+    #[test]
+    fn proof_queue_bounded() {
+        let mut n = test_node(100);
+        let other = test_node(200);
+        let cap = n.cfg.proof_queue as u64;
+        for i in 0..cap + 4 {
+            let list = other.sign_table(
+                successor_list_table(NodeId(200), vec![NodeId(300 + i)]),
+                i,
+            );
+            n.on_succ_list(NodeId(200), list);
+        }
+        assert_eq!(n.proof_queue.len(), n.cfg.proof_queue);
+        // newest proof retained
+        assert_eq!(n.proof_queue.back().unwrap().timestamp, cap + 3);
+    }
+
+    #[test]
+    fn merge_updates_successors() {
+        let mut n = test_node(100);
+        n.seed_state(vec![NodeId(120)], vec![], vec![], vec![]);
+        let peer = test_node(120);
+        let list = peer.sign_table(
+            successor_list_table(NodeId(120), vec![NodeId(130), NodeId(140)]),
+            0,
+        );
+        n.on_succ_list(NodeId(120), list);
+        assert_eq!(n.successors(), &[NodeId(120), NodeId(130), NodeId(140)]);
+    }
+
+    #[test]
+    fn peer_death_drops_from_lists_and_pool() {
+        let mut n = test_node(100);
+        n.seed_state(
+            vec![NodeId(120), NodeId(130)],
+            vec![NodeId(80)],
+            vec![],
+            vec![(NodeId(120), NodeId(99))],
+        );
+        n.on_peer_dead(NodeId(120));
+        assert_eq!(n.successors(), &[NodeId(130)]);
+        assert_eq!(n.relay_pool_len(), 0);
+    }
+
+    #[test]
+    fn known_nodes_deduped() {
+        let mut n = test_node(100);
+        n.seed_state(
+            vec![NodeId(120)],
+            vec![NodeId(80)],
+            vec![NodeId(120), NodeId(500)],
+            vec![],
+        );
+        let known = n.known_nodes();
+        assert_eq!(known, vec![NodeId(80), NodeId(120), NodeId(500)]);
+    }
+
+    #[test]
+    fn table_buffer_bounded() {
+        let mut n = test_node(100);
+        let other = test_node(200);
+        for i in 0..20u64 {
+            let t = other.sign_table(other.routing_table(), i);
+            n.buffer_table(t);
+        }
+        assert_eq!(n.table_buffer.len(), n.cfg.table_buffer);
+    }
+}

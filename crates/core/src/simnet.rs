@@ -1,0 +1,772 @@
+//! The event-based security simulator (paper §5).
+//!
+//! Reproduces the paper's evaluation methodology: N = 1000 nodes with
+//! 20 % malicious, King-like WAN latencies, exponential churn,
+//! stabilization every 2 s, finger updates every 30 s, surveillance
+//! every 60 s, random walks every 15 s, one application lookup per node
+//! per minute — and measures how fast the attacker-identification
+//! mechanisms drain the network of malicious nodes, how accurate they
+//! are (Table 2's false positive/negative/alarm rates), how many lookups
+//! get biased before the attackers die (Fig. 3(b)), and the CA's message
+//! workload (Fig. 7(b)).
+
+use std::collections::{HashMap, HashSet};
+
+use octopus_chord::ChordConfig;
+use octopus_crypto::{CertificateAuthority, KeyPair};
+use octopus_id::{IdSpace, Key, NodeId};
+use octopus_net::{Addr, Ctx, KingLikeLatency, NodeBehavior, StepOutcome, World};
+use octopus_sim::{derive_rng, ChurnProcess, Duration, SimTime};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::adversary::{AdversaryState, AttackKind, SharedAdversary};
+use crate::ca::CaNode;
+use crate::config::OctopusConfig;
+use crate::messages::{Msg, Timer};
+use crate::node::OctopusNode;
+
+/// The CA's reserved overlay address (outside the ring population).
+pub const CA_ADDR: NodeId = NodeId(u64::MAX);
+
+/// Which mechanism a report/verdict belongs to (drives Table 2's rows
+/// and Fig. 7(b)'s series).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReportCat {
+    /// Secret neighbor surveillance (§4.3).
+    NeighborSurveillance,
+    /// Secret finger surveillance (§4.4).
+    FingerSurveillance,
+    /// Checked finger updates (§4.5).
+    FingerUpdate,
+    /// Selective-DoS defense (Appendix II).
+    SelectiveDos,
+}
+
+/// Outcome of a CA case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// A node was identified and its certificate revoked.
+    Revoked(NodeId),
+    /// The case closed without identifying anyone (false alarm).
+    Dismissed,
+}
+
+/// Control events: protocol milestones surfaced to the driver, plus the
+/// driver's own scheduled events (churn, measurement).
+#[derive(Clone, Debug)]
+pub enum Control {
+    /// An application lookup finished.
+    LookupDone {
+        /// The initiator.
+        initiator: NodeId,
+        /// The key looked up.
+        key: Key,
+        /// The owner found (`None` = failed).
+        result: Option<NodeId>,
+        /// Remote queries used.
+        hops: usize,
+        /// Wall-clock (simulated) duration.
+        elapsed: Duration,
+    },
+    /// A relay-selection walk finished.
+    WalkDone {
+        /// The walk's initiator.
+        initiator: NodeId,
+        /// Whether verification passed and a pair was harvested.
+        ok: bool,
+    },
+    /// A secret neighbor surveillance test concluded (§4.3).
+    NeighborTest {
+        /// The monitoring node.
+        tester: NodeId,
+        /// The predecessor tested.
+        target: NodeId,
+        /// Whether the tester observed a violation.
+        violation: bool,
+    },
+    /// A finger check concluded (§4.4/§4.5).
+    FingerTest {
+        /// The monitoring node.
+        tester: NodeId,
+        /// The finger that was checked.
+        finger: NodeId,
+        /// The ideal finger id it should cover.
+        ideal: Key,
+        /// Whether a closer node was revealed.
+        violation: bool,
+        /// True when the check validated a finger-update candidate.
+        from_update: bool,
+    },
+    /// The CA received a protocol message (Fig. 7(b) workload).
+    CaReceived,
+    /// The CA closed a case.
+    Verdict {
+        /// The outcome.
+        verdict: Verdict,
+        /// The mechanism that produced the case.
+        category: ReportCat,
+    },
+    /// Driver: kill a node (churn).
+    ChurnKill(NodeId),
+    /// Driver: (re)join a node after its offline gap.
+    ChurnJoin(NodeId),
+    /// Driver: take a measurement sample.
+    Measure,
+}
+
+/// The actor hosted at each world address: a peer or the CA.
+pub enum Actor {
+    /// An Octopus peer.
+    Peer(Box<OctopusNode>),
+    /// The certificate authority.
+    Ca(Box<CaNode>),
+}
+
+impl NodeBehavior for Actor {
+    type Msg = Msg;
+    type Timer = Timer;
+    type Control = Control;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg, Timer, Control>) {
+        match self {
+            Actor::Peer(n) => n.on_start(ctx),
+            Actor::Ca(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg, Timer, Control>, from: Addr, msg: Msg) {
+        match self {
+            Actor::Peer(n) => n.on_message(ctx, from, msg),
+            Actor::Ca(c) => c.on_message(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg, Timer, Control>, timer: Timer) {
+        match self {
+            Actor::Peer(n) => n.on_timer(ctx, timer),
+            Actor::Ca(c) => c.on_timer(ctx, timer),
+        }
+    }
+}
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Network size (1000 in §5.1).
+    pub n: usize,
+    /// Fraction of malicious nodes (0.2 in §5.1).
+    pub malicious_fraction: f64,
+    /// The active attack.
+    pub attack: AttackKind,
+    /// Attack rate (1.0 or 0.5 in Figs. 3/4/9).
+    pub attack_rate: f64,
+    /// Consistent-collusion probability (0.5 in Table 2's caption).
+    pub consistent_collusion: f64,
+    /// Mean node lifetime; `None` disables churn.
+    pub mean_lifetime: Option<Duration>,
+    /// Simulated run length (1000 s in Fig. 3).
+    pub duration: Duration,
+    /// Master seed.
+    pub seed: u64,
+    /// Protocol parameters.
+    pub octopus: OctopusConfig,
+    /// Whether peers run application lookups (Fig. 3(b) accounting).
+    pub lookups_enabled: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n: 1000,
+            malicious_fraction: 0.2,
+            attack: AttackKind::LookupBias,
+            attack_rate: 1.0,
+            consistent_collusion: 0.5,
+            mean_lifetime: None,
+            duration: Duration::from_secs(1000),
+            seed: 42,
+            octopus: OctopusConfig::default(),
+            lookups_enabled: true,
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// `(t, fraction of the network that is unrevoked-malicious)`.
+    pub malicious_fraction: Vec<(f64, f64)>,
+    /// `(t, cumulative lookups completed)`.
+    pub lookups_total: Vec<(f64, f64)>,
+    /// `(t, cumulative biased lookups)`.
+    pub lookups_biased: Vec<(f64, f64)>,
+    /// `(t, CA messages received in this 10 s bin)`.
+    pub ca_messages: Vec<(f64, f64)>,
+    /// Honest nodes revoked (false positives).
+    pub false_positives: u64,
+    /// Total revocations.
+    pub revocations: u64,
+    /// Surveillance tests whose subject was provably bad.
+    pub tests_of_bad: u64,
+    /// …of which the test failed to observe the violation.
+    pub tests_missed: u64,
+    /// Neighbor-surveillance tests of bad subjects (subset of the above).
+    pub neighbor_tests_of_bad: u64,
+    /// …missed.
+    pub neighbor_tests_missed: u64,
+    /// Finger tests of bad subjects.
+    pub finger_tests_of_bad: u64,
+    /// …missed.
+    pub finger_tests_missed: u64,
+    /// Per-category (dismissed, convicted) case counts.
+    pub verdicts_by_cat: Vec<(ReportCat, u64, u64)>,
+    /// Cases closed with no identification.
+    pub dismissed: u64,
+    /// Cases closed with a revocation.
+    pub convicted: u64,
+    /// Lookups that returned a wrong owner.
+    pub biased_lookups: u64,
+    /// Lookups that completed (right or wrong).
+    pub completed_lookups: u64,
+    /// Lookups that failed outright.
+    pub failed_lookups: u64,
+    /// Walks that completed and were verified.
+    pub walks_ok: u64,
+    /// Walks aborted (timeout, bad signature, failed bound check).
+    pub walks_failed: u64,
+    /// Per-lookup end-to-end latency in milliseconds (Table 3 / Fig. 7a).
+    pub lookup_latencies_ms: Vec<f64>,
+    /// Mean per-node bandwidth in kbps over the run (Table 3).
+    pub bandwidth_kbps: f64,
+}
+
+impl SimReport {
+    /// False positive rate: honest revocations / all revocations.
+    #[must_use]
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.revocations == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.revocations as f64
+        }
+    }
+
+    /// False negative rate: bad subjects tested without detection.
+    #[must_use]
+    pub fn false_negative_rate(&self) -> f64 {
+        if self.tests_of_bad == 0 {
+            0.0
+        } else {
+            self.tests_missed as f64 / self.tests_of_bad as f64
+        }
+    }
+
+    /// False alarm rate: CA cases closed without identification.
+    #[must_use]
+    pub fn false_alarm_rate(&self) -> f64 {
+        let total = self.dismissed + self.convicted;
+        if total == 0 {
+            0.0
+        } else {
+            self.dismissed as f64 / total as f64
+        }
+    }
+
+    /// False-alarm rate for one mechanism's cases only (Table 2 reports
+    /// per-mechanism rows).
+    #[must_use]
+    pub fn false_alarm_rate_for(&self, cat: ReportCat) -> f64 {
+        match self.verdicts_by_cat.iter().find(|(c, _, _)| *c == cat) {
+            Some(&(_, dismissed, convicted)) if dismissed + convicted > 0 => {
+                dismissed as f64 / (dismissed + convicted) as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Neighbor-surveillance false-negative rate (Table 2's bias row).
+    #[must_use]
+    pub fn neighbor_fn_rate(&self) -> f64 {
+        if self.neighbor_tests_of_bad == 0 {
+            0.0
+        } else {
+            self.neighbor_tests_missed as f64 / self.neighbor_tests_of_bad as f64
+        }
+    }
+
+    /// Finger-check false-negative rate (Table 2's manipulation and
+    /// pollution rows).
+    #[must_use]
+    pub fn finger_fn_rate(&self) -> f64 {
+        if self.finger_tests_of_bad == 0 {
+            0.0
+        } else {
+            self.finger_tests_missed as f64 / self.finger_tests_of_bad as f64
+        }
+    }
+
+    /// Fraction of malicious nodes still in the network at the end.
+    #[must_use]
+    pub fn final_malicious_fraction(&self) -> f64 {
+        self.malicious_fraction.last().map_or(0.0, |&(_, f)| f)
+    }
+}
+
+/// The security simulator.
+pub struct SecuritySim {
+    cfg: SimConfig,
+    world: World<Actor, KingLikeLatency>,
+    space: IdSpace,
+    adversary: SharedAdversary,
+    /// The full original malicious set (revocations don't erase guilt).
+    initial_malicious: HashSet<NodeId>,
+    unrevoked_malicious: HashSet<NodeId>,
+    revoked: HashSet<NodeId>,
+    keys: HashMap<NodeId, (KeyPair, octopus_crypto::Certificate)>,
+    churn: ChurnProcess,
+    rng: rand::rngs::StdRng,
+    debug: bool,
+}
+
+impl SecuritySim {
+    /// Build the network.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        let mut rng = derive_rng(cfg.seed, b"driver", 0);
+        let ca_authority = CertificateAuthority::new(&mut rng);
+        let ca_key = ca_authority.public_key();
+
+        // --- population ---
+        let mut space = IdSpace::random(cfg.n, &mut rng);
+        while space.contains(CA_ADDR) {
+            space = IdSpace::random(cfg.n, &mut rng);
+        }
+        let mut ids: Vec<NodeId> = space.ids().to_vec();
+        ids.shuffle(&mut rng);
+        let n_mal = (cfg.n as f64 * cfg.malicious_fraction).round() as usize;
+        let malicious: HashSet<NodeId> = ids.iter().take(n_mal).copied().collect();
+
+        let adversary =
+            AdversaryState::new(cfg.attack, cfg.attack_rate, cfg.consistent_collusion).shared();
+        for &m in &malicious {
+            adversary.borrow_mut().enroll(m);
+        }
+
+        // --- certificates & CA ---
+        let mut ca_node = CaNode::new(CA_ADDR, ca_authority, cfg.octopus);
+        let mut keys = HashMap::new();
+        for &id in space.ids() {
+            let kp = KeyPair::generate(&mut rng);
+            let cert = ca_node.issue_cert(id, kp.public());
+            ca_node.register(id, kp.public());
+            ca_node.note_join(id, 0);
+            keys.insert(id, (kp, cert));
+        }
+        ca_node.broadcast_to = space.ids().to_vec();
+
+        // --- world ---
+        let latency = KingLikeLatency::new(octopus_sim::split_seed(cfg.seed, 7));
+        let mut world: World<Actor, KingLikeLatency> = World::new(latency, cfg.seed);
+        world.insert_node(CA_ADDR, Actor::Ca(Box::new(ca_node)));
+
+        let chord = cfg.octopus.chord;
+        for &m in &malicious {
+            let (kp, cert) = keys.get(&m).expect("key exists");
+            adversary.borrow_mut().share_keys(m, kp.clone(), *cert);
+        }
+        for &id in space.ids() {
+            let (kp, cert) = keys.get(&id).expect("key exists");
+            let adv = malicious.contains(&id).then(|| adversary.clone());
+            let mut node = OctopusNode::new(
+                id,
+                cfg.octopus,
+                kp.clone(),
+                *cert,
+                CA_ADDR,
+                ca_key,
+                adv,
+            );
+            seed_from_truth(&mut node, &space, chord, &mut rng);
+            seed_provenance(&mut node, &space, chord, &keys, 0);
+            world.insert_node(id, Actor::Peer(Box::new(node)));
+        }
+
+        let churn = match cfg.mean_lifetime {
+            Some(l) => ChurnProcess::new(l, Duration::from_secs(30)),
+            None => ChurnProcess::disabled(),
+        };
+
+        let mut sim = SecuritySim {
+            unrevoked_malicious: malicious.clone(),
+            initial_malicious: malicious,
+            revoked: HashSet::new(),
+            cfg,
+            world,
+            space,
+            adversary,
+            keys,
+            churn,
+            rng,
+            debug: false,
+        };
+        sim.schedule_initial_events();
+        sim
+    }
+
+    fn schedule_initial_events(&mut self) {
+        // churn
+        if self.churn.is_enabled() {
+            let ids: Vec<NodeId> = self.space.ids().to_vec();
+            for id in ids {
+                let life = self.churn.sample_lifetime(&mut self.rng);
+                if SimTime::ZERO + life <= SimTime::ZERO + self.cfg.duration {
+                    self.world
+                        .schedule_control(SimTime::ZERO + life, Control::ChurnKill(id));
+                }
+            }
+        }
+        // measurement every 5 s
+        let mut t = SimTime::ZERO;
+        while t <= SimTime::ZERO + self.cfg.duration {
+            self.world.schedule_control(t, Control::Measure);
+            t += Duration::from_secs(5);
+        }
+    }
+
+    /// Current ground-truth owner of a key (live nodes only).
+    #[must_use]
+    pub fn truth_owner(&self, key: Key) -> NodeId {
+        self.space.owner_of(key).owner
+    }
+
+    /// The shared adversary directory.
+    #[must_use]
+    pub fn adversary(&self) -> &SharedAdversary {
+        &self.adversary
+    }
+
+    /// Run with verbose verdict logging to stdout (diagnostics).
+    pub fn run_debug(&mut self) -> SimReport {
+        self.debug = true;
+        self.run()
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(&mut self) -> SimReport {
+        let mut report = SimReport::default();
+        let end = SimTime::ZERO + self.cfg.duration;
+        let bin = 10.0; // seconds per CA-workload bin
+        let mut ca_bins: Vec<f64> = vec![0.0; (self.cfg.duration.as_secs_f64() / bin) as usize + 1];
+        loop {
+            if self.world.now() > end {
+                break;
+            }
+            let outcome = self.world.step();
+            let now = self.world.now();
+            if now > end {
+                break;
+            }
+            let controls = match outcome {
+                StepOutcome::Idle => break,
+                StepOutcome::Control(c) => vec![c],
+                StepOutcome::Protocol(cs) => cs,
+            };
+            for c in controls {
+                self.handle_control(c, now, &mut report, &mut ca_bins, bin);
+            }
+        }
+        report.ca_messages = ca_bins
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 * bin, v))
+            .collect();
+        report.bandwidth_kbps = self
+            .world
+            .ledger()
+            .mean_node_kbps(self.cfg.n, self.cfg.duration.as_secs_f64());
+        report
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn handle_control(
+        &mut self,
+        c: Control,
+        now: SimTime,
+        report: &mut SimReport,
+        ca_bins: &mut [f64],
+        bin: f64,
+    ) {
+        let t = now.as_secs_f64();
+        match c {
+            Control::Measure => {
+                let frac = self.unrevoked_malicious.len() as f64 / self.cfg.n as f64;
+                report.malicious_fraction.push((t, frac));
+                report
+                    .lookups_total
+                    .push((t, report.completed_lookups as f64));
+                report
+                    .lookups_biased
+                    .push((t, report.biased_lookups as f64));
+                self.heal_starved_nodes();
+            }
+            Control::CaReceived => {
+                let idx = ((t / bin) as usize).min(ca_bins.len() - 1);
+                ca_bins[idx] += 1.0;
+            }
+            Control::LookupDone { key, result, elapsed, .. } => {
+                if !self.cfg.lookups_enabled {
+                    return;
+                }
+                match result {
+                    Some(owner) => {
+                        report.completed_lookups += 1;
+                        report.lookup_latencies_ms.push(elapsed.as_millis_f64());
+                        let truth = self.space.owner_of(key).owner;
+                        if owner != truth {
+                            report.biased_lookups += 1;
+                        }
+                    }
+                    None => report.failed_lookups += 1,
+                }
+            }
+            Control::WalkDone { ok, .. } => {
+                if ok {
+                    report.walks_ok += 1;
+                } else {
+                    report.walks_failed += 1;
+                }
+            }
+            Control::NeighborTest { target, violation, .. } => {
+                if self.initial_malicious.contains(&target) {
+                    report.tests_of_bad += 1;
+                    report.neighbor_tests_of_bad += 1;
+                    if !violation {
+                        report.tests_missed += 1;
+                        report.neighbor_tests_missed += 1;
+                    }
+                }
+            }
+            Control::FingerTest { finger, ideal, violation, .. } => {
+                // a finger is provably bad when ground truth has a
+                // closer live owner for its ideal id
+                let truth = self.space.owner_of(ideal).owner;
+                let bad = truth != finger
+                    && ideal.distance_to_node(truth) < ideal.distance_to_node(finger);
+                if bad {
+                    report.tests_of_bad += 1;
+                    report.finger_tests_of_bad += 1;
+                    if !violation {
+                        report.tests_missed += 1;
+                        report.finger_tests_missed += 1;
+                    }
+                }
+            }
+            Control::Verdict { verdict, category } => {
+                let slot = if let Some(slot) =
+                    report.verdicts_by_cat.iter_mut().find(|(c, _, _)| *c == category)
+                {
+                    slot
+                } else {
+                    report.verdicts_by_cat.push((category, 0, 0));
+                    report.verdicts_by_cat.last_mut().expect("just pushed")
+                };
+                match verdict {
+                    Verdict::Revoked(_) => slot.2 += 1,
+                    Verdict::Dismissed => slot.1 += 1,
+                }
+                match verdict {
+                Verdict::Revoked(id) => {
+                    if self.debug {
+                        let mal = self.initial_malicious.contains(&id);
+                        println!("[{t:.1}s] REVOKED {id} malicious={mal} cat={category:?}");
+                    }
+                    report.revocations += 1;
+                    report.convicted += 1;
+                    if !self.initial_malicious.contains(&id) {
+                        report.false_positives += 1;
+                    }
+                    self.apply_revocation(id);
+                }
+                Verdict::Dismissed => report.dismissed += 1,
+            }
+            }
+            Control::ChurnKill(id) => self.churn_kill(id, now),
+            Control::ChurnJoin(id) => self.churn_join(id, now),
+        }
+    }
+
+    fn apply_revocation(&mut self, id: NodeId) {
+        self.revoked.insert(id);
+        self.unrevoked_malicious.remove(&id);
+        self.adversary.borrow_mut().remove(id);
+        self.space.remove(id);
+        self.world.remove_node(id);
+    }
+
+    fn churn_kill(&mut self, id: NodeId, now: SimTime) {
+        if self.revoked.contains(&id) || !self.world.is_alive(id) {
+            return;
+        }
+        self.world.remove_node(id);
+        self.space.remove(id);
+        self.adversary.borrow_mut().remove(id);
+        self.with_ca(|ca| ca.note_death(id, now.as_secs_f64() as u64));
+        let gap = self
+            .churn
+            .sample_offline(&mut self.rng)
+            .max(Duration::from_secs(1));
+        self.world
+            .schedule_control(now + gap, Control::ChurnJoin(id));
+    }
+
+    fn churn_join(&mut self, id: NodeId, now: SimTime) {
+        if self.revoked.contains(&id) || self.world.is_alive(id) {
+            return;
+        }
+        self.space.insert(id);
+        let malicious = self.initial_malicious.contains(&id);
+        if malicious {
+            self.adversary.borrow_mut().enroll(id);
+        }
+        let (kp, cert) = self.keys.get(&id).expect("keys exist").clone();
+        let ca_key = self.with_ca_ref(|ca| ca.public_key());
+        let mut node = OctopusNode::new(
+            id,
+            self.cfg.octopus,
+            kp,
+            cert,
+            CA_ADDR,
+            ca_key,
+            malicious.then(|| self.adversary.clone()),
+        );
+        let chord = self.cfg.octopus.chord;
+        seed_from_truth(&mut node, &self.space, chord, &mut self.rng);
+        seed_provenance(
+            &mut node,
+            &self.space,
+            chord,
+            &self.keys,
+            now.as_secs_f64() as u64,
+        );
+        if malicious {
+            let (kp, cert) = self.keys.get(&id).expect("keys exist");
+            self.adversary.borrow_mut().share_keys(id, kp.clone(), *cert);
+        }
+        self.world.insert_node(id, Actor::Peer(Box::new(node)));
+        self.with_ca(|ca| ca.note_join(id, now.as_secs_f64() as u64));
+        // announce the join to ring neighbors (idealized join protocol)
+        let succs = self.space.successor_list(id, chord.successors);
+        let preds = self.space.predecessor_list(id, chord.predecessors);
+        for n in succs.into_iter().chain(preds) {
+            if let Some(Actor::Peer(p)) = self.world.node_mut(n) {
+                p.learn_neighbor(id);
+            }
+        }
+        // schedule its next death
+        let life = self.churn.sample_lifetime(&mut self.rng);
+        let death = now + life;
+        if death <= SimTime::ZERO + self.cfg.duration {
+            self.world.schedule_control(death, Control::ChurnKill(id));
+        }
+    }
+
+    /// Emergency re-seed for nodes whose neighbor lists were emptied by
+    /// mass revocation of their (malicious) neighborhood — stands in for
+    /// a re-join, which the idealized join protocol would perform.
+    fn heal_starved_nodes(&mut self) {
+        let ids: Vec<NodeId> = self.space.ids().to_vec();
+        let chord = self.cfg.octopus.chord;
+        for id in ids {
+            let starved = matches!(
+                self.world.node(id),
+                Some(Actor::Peer(p)) if p.successors().is_empty() || p.predecessors().is_empty()
+            );
+            if starved {
+                let succs = self.space.successor_list(id, chord.successors);
+                let preds = self.space.predecessor_list(id, chord.predecessors);
+                if let Some(Actor::Peer(p)) = self.world.node_mut(id) {
+                    if p.successors().is_empty() && !succs.is_empty() {
+                        p.set_successors(succs);
+                    }
+                    if p.predecessors().is_empty() && !preds.is_empty() {
+                        p.set_predecessors(preds);
+                    }
+                }
+            }
+        }
+    }
+
+    fn with_ca<R>(&mut self, f: impl FnOnce(&mut CaNode) -> R) -> R {
+        match self.world.node_mut(CA_ADDR) {
+            Some(Actor::Ca(ca)) => f(ca),
+            _ => unreachable!("CA actor always present"),
+        }
+    }
+
+    fn with_ca_ref<R>(&self, f: impl FnOnce(&CaNode) -> R) -> R {
+        match self.world.node(CA_ADDR) {
+            Some(Actor::Ca(ca)) => f(ca),
+            _ => unreachable!("CA actor always present"),
+        }
+    }
+}
+
+/// Seed per-finger adoption provenance from ground truth: the idealized
+/// join protocol runs checked finger lookups, so each seeded finger
+/// comes with the signed third-party list a real §4.5 check would have
+/// produced — the successor list of the finger target's predecessor.
+fn seed_provenance(
+    node: &mut OctopusNode,
+    space: &IdSpace,
+    chord: ChordConfig,
+    keys: &HashMap<NodeId, (KeyPair, octopus_crypto::Certificate)>,
+    now: u64,
+) {
+    use octopus_chord::signed::successor_list_table;
+    use octopus_chord::SignedRoutingTable;
+    for i in 0..chord.fingers {
+        let ideal = chord.finger_target(node.id, i);
+        let owner = space.owner_of(ideal).owner;
+        // the justifying signer is a predecessor of the finger whose
+        // successor list spans the [ideal, finger) gap; skip ourselves
+        // (self-signed justifications convince nobody)
+        let signer = (1..=3)
+            .map(|d| space.predecessor(owner, d))
+            .find(|&s| s != node.id && s != owner);
+        let Some(signer) = signer else { continue };
+        let Some((kp, cert)) = keys.get(&signer) else {
+            continue;
+        };
+        let list = space.successor_list(signer, chord.successors);
+        let signed =
+            SignedRoutingTable::sign(successor_list_table(signer, list), now, kp, *cert);
+        node.set_finger_provenance(i, signed);
+    }
+}
+
+/// Initialize a node's ring state from ground truth (idealized join).
+fn seed_from_truth(
+    node: &mut OctopusNode,
+    space: &IdSpace,
+    chord: ChordConfig,
+    rng: &mut impl Rng,
+) {
+    let id = node.id;
+    let succs = space.successor_list(id, chord.successors);
+    let preds = space.predecessor_list(id, chord.predecessors);
+    let fingers = (0..chord.fingers)
+        .map(|i| space.owner_of(chord.finger_target(id, i)).owner)
+        .collect();
+    // initial relay pairs: as if walks had already run (the pool is
+    // immediately refreshed by real walks every 15 s)
+    let mut pairs = Vec::new();
+    for _ in 0..4 {
+        let a = space.random_member(rng);
+        let b = space.random_member(rng);
+        if a != b && a != id && b != id {
+            pairs.push((a, b));
+        }
+    }
+    node.seed_state(succs, preds, fingers, pairs);
+}

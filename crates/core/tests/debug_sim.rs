@@ -1,0 +1,24 @@
+//! Diagnostic harness (run with --nocapture) — not a correctness test.
+
+use octopus_core::{AttackKind, SecuritySim, SimConfig};
+use octopus_sim::Duration;
+
+#[test]
+#[ignore]
+fn diagnose_passive() {
+    let cfg = SimConfig {
+        n: 150,
+        malicious_fraction: 0.2,
+        attack: AttackKind::LookupBias,
+        attack_rate: 0.5,
+        consistent_collusion: 0.5,
+        mean_lifetime: None,
+        duration: Duration::from_secs(240),
+        seed: 3,
+        octopus: octopus_core::OctopusConfig::for_network(150),
+        lookups_enabled: true,
+    };
+    let mut sim = SecuritySim::new(cfg);
+    let report = sim.run_debug();
+    println!("{report:#?}");
+}

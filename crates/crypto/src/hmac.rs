@@ -1,0 +1,79 @@
+//! HMAC-SHA-256 (RFC 2104), used to derive per-hop onion keys from a
+//! shared secret and to key the stream cipher.
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Compute `HMAC-SHA256(key, message)`.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = Sha256::new().chain(key).finalize();
+        k[..32].copy_from_slice(&d.0);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let inner = Sha256::new().chain(&ipad).chain(message).finalize();
+    Sha256::new().chain(&opad).chain(&inner.0).finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let d = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            d.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let d = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            d.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let d = hmac_sha256(&key, &msg);
+        assert_eq!(
+            d.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // 131-byte key forces the hash-the-key path
+        let key = [0xaau8; 131];
+        let d = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            d.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+}

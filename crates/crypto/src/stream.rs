@@ -1,0 +1,112 @@
+//! A CTR-mode stream cipher built on SHA-256.
+//!
+//! The paper encrypts onion layers with AES-128 (footnote 4). We
+//! substitute a hash-counter keystream: `block_i = SHA256(key ‖ nonce ‖
+//! i)`, XORed into the data. Like any stream cipher, encryption and
+//! decryption are the same operation and the cipher is length-preserving,
+//! which is what the onion construction relies on. (Toy cipher — see the
+//! crate-level warning.)
+
+use crate::sha256::Sha256;
+
+/// A keyed stream cipher instance.
+///
+/// ```
+/// use octopus_crypto::StreamCipher;
+/// let c = StreamCipher::new(b"key", 42);
+/// let mut data = *b"secret lookup query";
+/// c.apply(&mut data);
+/// assert_ne!(&data, b"secret lookup query");
+/// c.apply(&mut data); // XOR stream is an involution
+/// assert_eq!(&data, b"secret lookup query");
+/// ```
+#[derive(Clone)]
+pub struct StreamCipher {
+    key: Vec<u8>,
+    nonce: u64,
+}
+
+impl StreamCipher {
+    /// Create a cipher from key material and a nonce. The nonce must be
+    /// unique per message under one key (callers use a fresh random nonce
+    /// or a message sequence number).
+    #[must_use]
+    pub fn new(key: &[u8], nonce: u64) -> Self {
+        StreamCipher {
+            key: key.to_vec(),
+            nonce,
+        }
+    }
+
+    /// XOR the keystream into `data` in place (encrypts or decrypts).
+    pub fn apply(&self, data: &mut [u8]) {
+        let mut counter = 0u64;
+        for chunk in data.chunks_mut(32) {
+            let block = Sha256::new()
+                .chain(&self.key)
+                .chain(&self.nonce.to_be_bytes())
+                .chain(&counter.to_be_bytes())
+                .finalize();
+            for (b, k) in chunk.iter_mut().zip(block.0.iter()) {
+                *b ^= k;
+            }
+            counter += 1;
+        }
+    }
+
+    /// Convenience: encrypt a copy.
+    #[must_use]
+    pub fn encrypt(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let c = StreamCipher::new(b"octopus key", 7);
+        let msg = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let ct = c.encrypt(&msg);
+        assert_ne!(ct, msg);
+        assert_eq!(c.encrypt(&ct), msg);
+    }
+
+    #[test]
+    fn nonce_separates_streams() {
+        let msg = vec![0u8; 64];
+        let a = StreamCipher::new(b"k", 1).encrypt(&msg);
+        let b = StreamCipher::new(b"k", 2).encrypt(&msg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn key_separates_streams() {
+        let msg = vec![0u8; 64];
+        let a = StreamCipher::new(b"k1", 1).encrypt(&msg);
+        let b = StreamCipher::new(b"k2", 1).encrypt(&msg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn length_preserving_all_sizes() {
+        let c = StreamCipher::new(b"k", 3);
+        for n in [0usize, 1, 31, 32, 33, 64, 100] {
+            let msg = vec![0xabu8; n];
+            let ct = c.encrypt(&msg);
+            assert_eq!(ct.len(), n);
+            assert_eq!(c.encrypt(&ct), msg);
+        }
+    }
+
+    #[test]
+    fn empty_is_noop() {
+        let c = StreamCipher::new(b"k", 0);
+        let mut data: [u8; 0] = [];
+        c.apply(&mut data);
+    }
+}

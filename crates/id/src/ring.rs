@@ -1,0 +1,257 @@
+//! The 64-bit Chord identifier ring.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in the identifier space (`m` in the Chord paper).
+pub const RING_BITS: u32 = 64;
+
+/// A position on the Chord ring.
+///
+/// Both peers and keys live in the same circular identifier space; a
+/// `NodeId` is the position assigned to a peer (in Octopus, derived from a
+/// hash of its certificate), while a [`Key`] is the position of a lookup
+/// key. Ordering on the ring is *relative*: use
+/// [`NodeId::is_between`]/[`RingInterval`] rather than `Ord` for routing
+/// decisions. (`Ord` is still derived so ids can live in sorted
+/// containers.)
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u64);
+
+/// A lookup key hashed into the ring space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(pub u64);
+
+impl NodeId {
+    /// The zero identifier, the conventional ring origin.
+    pub const ZERO: NodeId = NodeId(0);
+
+    /// Clockwise distance from `self` to `other` (how far a lookup must
+    /// travel forward along the ring to get from `self` to `other`).
+    ///
+    /// `a.distance_to(a) == 0`, and for `a != b`,
+    /// `a.distance_to(b) + b.distance_to(a) == 2^64` (wrapping to 0).
+    #[must_use]
+    pub fn distance_to(self, other: NodeId) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// The ideal `i`-th finger target, `self + 2^i (mod 2^64)`.
+    ///
+    /// Chord nodes keep a finger pointing at the first node succeeding
+    /// each of these targets; Octopus' secret finger surveillance (§4.4)
+    /// checks fingers against the same targets. `i` must be `< 64`.
+    #[must_use]
+    pub fn finger_target(self, i: u32) -> Key {
+        assert!(i < RING_BITS, "finger index {i} out of range");
+        Key(self.0.wrapping_add(1u64 << i))
+    }
+
+    /// True when `self` lies in the *open* interval `(from, to)` walking
+    /// clockwise. An empty interval (`from == to`) contains every id
+    /// except `from`, matching Chord's "full ring" convention when a node
+    /// is its own successor.
+    #[must_use]
+    pub fn is_between(self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            self != from
+        } else {
+            from.distance_to(self) > 0 && from.distance_to(self) < from.distance_to(to)
+        }
+    }
+
+    /// True when `self` is in the half-open interval `(from, to]`
+    /// clockwise — the Chord ownership test: the successor of a key `k`
+    /// is the node `s` with `k ∈ (pred(s), s]`.
+    #[must_use]
+    pub fn is_between_incl(self, from: NodeId, to: NodeId) -> bool {
+        self == to || self.is_between(from, to)
+    }
+
+    /// Reinterpret this node position as a key (their spaces coincide).
+    #[must_use]
+    pub fn as_key(self) -> Key {
+        Key(self.0)
+    }
+}
+
+impl Key {
+    /// Clockwise distance from this key to a node: how far past the key
+    /// the node sits. The key's owner is the node minimizing this.
+    #[must_use]
+    pub fn distance_to_node(self, node: NodeId) -> u64 {
+        node.0.wrapping_sub(self.0)
+    }
+
+    /// Clockwise distance from a node to this key: how far a lookup
+    /// starting at `node` still has to travel.
+    #[must_use]
+    pub fn distance_from_node(self, node: NodeId) -> u64 {
+        self.0.wrapping_sub(node.0)
+    }
+
+    /// Reinterpret this key as a ring position.
+    #[must_use]
+    pub fn as_id(self) -> NodeId {
+        NodeId(self.0)
+    }
+
+    /// Ownership test: does the node owning `(pred, node]` own this key?
+    #[must_use]
+    pub fn owned_by(self, node: NodeId, pred: NodeId) -> bool {
+        self.as_id().is_between_incl(pred, node)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({:016x})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({:016x})", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(v: u64) -> Self {
+        Key(v)
+    }
+}
+
+/// A clockwise interval on the ring, used to express ranges such as the
+/// estimation range produced by the range-estimation attack (paper §6.3
+/// and [38]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RingInterval {
+    /// Interval start (exclusive).
+    pub from: NodeId,
+    /// Interval end (inclusive).
+    pub to: NodeId,
+}
+
+impl RingInterval {
+    /// A new half-open interval `(from, to]`.
+    #[must_use]
+    pub fn new(from: NodeId, to: NodeId) -> Self {
+        RingInterval { from, to }
+    }
+
+    /// Does the interval contain `id`?
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.is_between_incl(self.from, self.to)
+    }
+
+    /// Clockwise width of the interval.
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        self.from.distance_to(self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_clockwise() {
+        let a = NodeId(10);
+        let b = NodeId(20);
+        assert_eq!(a.distance_to(b), 10);
+        assert_eq!(b.distance_to(a), u64::MAX - 9);
+        assert_eq!(a.distance_to(a), 0);
+    }
+
+    #[test]
+    fn distance_wraps() {
+        let a = NodeId(u64::MAX - 1);
+        let b = NodeId(3);
+        assert_eq!(a.distance_to(b), 5);
+    }
+
+    #[test]
+    fn between_simple() {
+        assert!(NodeId(5).is_between(NodeId(1), NodeId(9)));
+        assert!(!NodeId(1).is_between(NodeId(1), NodeId(9)));
+        assert!(!NodeId(9).is_between(NodeId(1), NodeId(9)));
+        assert!(NodeId(9).is_between_incl(NodeId(1), NodeId(9)));
+    }
+
+    #[test]
+    fn between_wrapping() {
+        // interval (fffe..2] crosses the origin
+        assert!(NodeId(0).is_between(NodeId(u64::MAX - 1), NodeId(2)));
+        assert!(NodeId(u64::MAX).is_between(NodeId(u64::MAX - 1), NodeId(2)));
+        assert!(!NodeId(3).is_between(NodeId(u64::MAX - 1), NodeId(2)));
+    }
+
+    #[test]
+    fn empty_interval_is_full_ring() {
+        // from == to means "everything but from": a node that is its own
+        // successor owns the whole ring.
+        assert!(NodeId(7).is_between(NodeId(3), NodeId(3)));
+        assert!(!NodeId(3).is_between(NodeId(3), NodeId(3)));
+        assert!(NodeId(3).is_between_incl(NodeId(3), NodeId(3)));
+    }
+
+    #[test]
+    fn finger_targets() {
+        let n = NodeId(100);
+        assert_eq!(n.finger_target(0), Key(101));
+        assert_eq!(n.finger_target(3), Key(108));
+        assert_eq!(NodeId(u64::MAX).finger_target(0), Key(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finger index")]
+    fn finger_target_out_of_range() {
+        let _ = NodeId(0).finger_target(64);
+    }
+
+    #[test]
+    fn key_ownership() {
+        // node 20 with predecessor 10 owns (10, 20]
+        assert!(Key(15).owned_by(NodeId(20), NodeId(10)));
+        assert!(Key(20).owned_by(NodeId(20), NodeId(10)));
+        assert!(!Key(10).owned_by(NodeId(20), NodeId(10)));
+        assert!(!Key(25).owned_by(NodeId(20), NodeId(10)));
+    }
+
+    #[test]
+    fn interval_width_and_contains() {
+        let iv = RingInterval::new(NodeId(u64::MAX - 4), NodeId(5));
+        assert_eq!(iv.width(), 10);
+        assert!(iv.contains(NodeId(0)));
+        assert!(iv.contains(NodeId(5)));
+        assert!(!iv.contains(NodeId(6)));
+        assert!(!iv.contains(NodeId(u64::MAX - 4)));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(NodeId(0xabcd).to_string(), "000000000000abcd");
+        assert_eq!(format!("{:?}", Key(1)), "Key(0000000000000001)");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the ring invariants every protocol relies on.
+
+use octopus_id::{IdSpace, Key, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    /// Clockwise distances around the full circle sum to 2^64 (≡ 0).
+    #[test]
+    fn distances_sum_to_ring(a: u64, b: u64) {
+        let (a, b) = (NodeId(a), NodeId(b));
+        prop_assert_eq!(
+            a.distance_to(b).wrapping_add(b.distance_to(a)),
+            if a == b { 0 } else { 0u64 }
+        );
+    }
+
+    /// `is_between` is equivalent to a distance comparison.
+    #[test]
+    fn between_matches_distance(x: u64, from: u64, to: u64) {
+        let (x, from, to) = (NodeId(x), NodeId(from), NodeId(to));
+        let by_def = x.is_between(from, to);
+        let by_dist = if from == to {
+            x != from
+        } else {
+            from.distance_to(x) > 0 && from.distance_to(x) < from.distance_to(to)
+        };
+        prop_assert_eq!(by_def, by_dist);
+    }
+
+    /// Exactly one node owns any key, and ownership matches the
+    /// predecessor interval definition.
+    #[test]
+    fn exactly_one_owner(ids in proptest::collection::hash_set(any::<u64>(), 2..50), key: u64) {
+        let space = IdSpace::new(ids.into_iter().map(NodeId).collect());
+        let key = Key(key);
+        let own = space.owner_of(key);
+        let owners: Vec<_> = space
+            .ids()
+            .iter()
+            .filter(|&&n| key.owned_by(n, space.predecessor(n, 1)))
+            .collect();
+        prop_assert_eq!(owners.len(), 1, "key must have a unique owner");
+        prop_assert_eq!(*owners[0], own.owner);
+    }
+
+    /// successor and predecessor are inverse on members.
+    #[test]
+    fn succ_pred_inverse(ids in proptest::collection::hash_set(any::<u64>(), 2..50), k in 1usize..5) {
+        let space = IdSpace::new(ids.into_iter().map(NodeId).collect());
+        for &n in space.ids() {
+            let s = space.successor(n, k);
+            prop_assert_eq!(space.predecessor(s, k), n);
+        }
+    }
+
+    /// The successor list is sorted by clockwise distance from the node.
+    #[test]
+    fn successor_list_ordered(ids in proptest::collection::hash_set(any::<u64>(), 3..60)) {
+        let space = IdSpace::new(ids.into_iter().map(NodeId).collect());
+        let n = space.ids()[0];
+        let sl = space.successor_list(n, space.len() - 1);
+        let mut last = 0u64;
+        for s in sl {
+            let d = n.distance_to(s);
+            prop_assert!(d > last, "successor list must be clockwise-ordered");
+            last = d;
+        }
+    }
+
+    /// Fingers never precede their target: owner_of(t) is at or after t.
+    #[test]
+    fn finger_at_or_after_target(ids in proptest::collection::hash_set(any::<u64>(), 2..40), node: u64) {
+        let space = IdSpace::new(ids.into_iter().map(NodeId).collect());
+        let n = NodeId(node);
+        for i in 0..64 {
+            let t = n.finger_target(i);
+            let f = space.owner_of(t).owner;
+            // distance from target to owner < distance from target to any other node
+            for &m in space.ids() {
+                prop_assert!(t.distance_to_node(f) <= t.distance_to_node(m));
+            }
+        }
+    }
+}

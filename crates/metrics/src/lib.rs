@@ -1,0 +1,84 @@
+//! Statistics helpers shared by the Octopus evaluation harness.
+//!
+//! Every table and figure in the paper reduces to a handful of summary
+//! shapes: means/medians (Table 3), CDFs (Fig. 7a), binned time series
+//! (Figs. 3, 4, 7b, 9), rates (Table 2), and entropies (Figs. 5, 6). This
+//! crate implements those reductions once, with text rendering that
+//! mirrors the paper's rows/series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use series::TimeSeries;
+pub use summary::{Cdf, Summary};
+pub use table::TextTable;
+
+/// Shannon entropy (bits) of a discrete distribution given as
+/// probabilities. Zero-probability entries contribute nothing; the input
+/// need not be normalized (it is normalized internally).
+#[must_use]
+pub fn entropy_bits(probs: &[f64]) -> f64 {
+    let total: f64 = probs.iter().filter(|p| **p > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &p in probs {
+        if p > 0.0 {
+            let q = p / total;
+            h -= q * q.log2();
+        }
+    }
+    h
+}
+
+/// Entropy of a uniform distribution over `n` outcomes.
+#[must_use]
+pub fn uniform_entropy_bits(n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        (n as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_entropy() {
+        assert_eq!(uniform_entropy_bits(1), 0.0);
+        assert!((uniform_entropy_bits(1024) - 10.0).abs() < 1e-12);
+        assert_eq!(uniform_entropy_bits(0), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_matches() {
+        let p = vec![0.25; 4];
+        assert!((entropy_bits(&p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_unnormalized_input() {
+        let p = vec![1.0, 1.0, 1.0, 1.0];
+        assert!((entropy_bits(&p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_degenerate() {
+        assert_eq!(entropy_bits(&[1.0]), 0.0);
+        assert_eq!(entropy_bits(&[]), 0.0);
+        assert_eq!(entropy_bits(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_ignores_zeros() {
+        let h = entropy_bits(&[0.5, 0.5, 0.0, 0.0]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Binned time series, the backbone of the "X vs time" figures
+//! (Figs. 3, 4, 7b, 9).
+
+/// Events or gauge values bucketed into fixed-width time bins.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bin_width: f64,
+    end: f64,
+    /// Sum of values per bin.
+    sums: Vec<f64>,
+    /// Sample count per bin.
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// A series over `[0, end)` seconds with `bin_width`-second bins.
+    ///
+    /// # Panics
+    /// Panics when `bin_width <= 0` or `end <= 0`.
+    #[must_use]
+    pub fn new(end: f64, bin_width: f64) -> Self {
+        assert!(bin_width > 0.0 && end > 0.0, "invalid series bounds");
+        let bins = (end / bin_width).ceil() as usize;
+        TimeSeries {
+            bin_width,
+            end,
+            sums: vec![0.0; bins],
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Record `value` at time `t` (seconds). Out-of-range samples are
+    /// clamped into the final bin so end-of-run events are not lost.
+    pub fn record(&mut self, t: f64, value: f64) {
+        if self.sums.is_empty() {
+            return;
+        }
+        let idx = ((t / self.bin_width) as usize).min(self.sums.len() - 1);
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Record one occurrence (counting series).
+    pub fn record_event(&mut self, t: f64) {
+        self.record(t, 1.0);
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// End of the covered range in seconds.
+    #[must_use]
+    pub fn end(&self) -> f64 {
+        self.end
+    }
+
+    /// `(bin start time, sum)` pairs — counts per bin for event series.
+    #[must_use]
+    pub fn totals(&self) -> Vec<(f64, f64)> {
+        self.sums
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as f64 * self.bin_width, s))
+            .collect()
+    }
+
+    /// `(bin start time, mean)` pairs; empty bins carry forward the last
+    /// observed mean (gauge semantics — e.g. "fraction of malicious
+    /// nodes" holds its value between observations).
+    #[must_use]
+    pub fn means_carry_forward(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(self.sums.len());
+        let mut last = 0.0;
+        for i in 0..self.sums.len() {
+            if self.counts[i] > 0 {
+                last = self.sums[i] / self.counts[i] as f64;
+            }
+            out.push((i as f64 * self.bin_width, last));
+        }
+        out
+    }
+
+    /// Cumulative sum series `(bin start, running total)`.
+    #[must_use]
+    pub fn cumulative(&self) -> Vec<(f64, f64)> {
+        let mut acc = 0.0;
+        self.sums
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                acc += s;
+                (i as f64 * self.bin_width, acc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_totals() {
+        let mut ts = TimeSeries::new(10.0, 2.0);
+        assert_eq!(ts.bins(), 5);
+        ts.record_event(0.5);
+        ts.record_event(1.9);
+        ts.record_event(2.0);
+        let t = ts.totals();
+        assert_eq!(t[0], (0.0, 2.0));
+        assert_eq!(t[1], (2.0, 1.0));
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let mut ts = TimeSeries::new(10.0, 2.0);
+        ts.record_event(99.0);
+        assert_eq!(ts.totals()[4].1, 1.0);
+    }
+
+    #[test]
+    fn means_carry_forward() {
+        let mut ts = TimeSeries::new(8.0, 2.0);
+        ts.record(0.0, 0.2);
+        ts.record(1.0, 0.4); // bin 0 mean = 0.3
+        ts.record(6.0, 0.1); // bin 3
+        let m = ts.means_carry_forward();
+        assert!((m[0].1 - 0.3).abs() < 1e-12);
+        assert!((m[1].1 - 0.3).abs() < 1e-12, "carried forward");
+        assert!((m[2].1 - 0.3).abs() < 1e-12);
+        assert!((m[3].1 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_sums() {
+        let mut ts = TimeSeries::new(6.0, 2.0);
+        ts.record(0.0, 1.0);
+        ts.record(3.0, 2.0);
+        ts.record(5.0, 3.0);
+        let c = ts.cumulative();
+        assert_eq!(c[0].1, 1.0);
+        assert_eq!(c[1].1, 3.0);
+        assert_eq!(c[2].1, 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid series bounds")]
+    fn rejects_bad_bounds() {
+        let _ = TimeSeries::new(10.0, 0.0);
+    }
+
+    #[test]
+    fn fractional_bin_count_rounds_up() {
+        let ts = TimeSeries::new(10.0, 3.0);
+        assert_eq!(ts.bins(), 4);
+    }
+}

@@ -1,0 +1,225 @@
+//! Summary statistics and CDFs.
+
+/// Accumulates samples and reports mean/median/percentiles.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Add many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, it: I) {
+        self.samples.extend(it);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// p-th percentile by linear interpolation, p ∈ [0, 100].
+    #[must_use]
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 1 {
+            return self.samples[0];
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+    }
+
+    /// Median.
+    #[must_use]
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Minimum (0 when empty).
+    #[must_use]
+    pub fn min(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        self.samples[0]
+    }
+
+    /// Maximum (0 when empty).
+    #[must_use]
+    pub fn max(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        *self.samples.last().unwrap()
+    }
+
+    /// Sample standard deviation (0 for < 2 samples).
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Build an empirical CDF with `points` evenly spaced quantiles.
+    #[must_use]
+    pub fn cdf(&mut self, points: usize) -> Cdf {
+        self.ensure_sorted();
+        let mut pts = Vec::with_capacity(points);
+        if self.samples.is_empty() {
+            return Cdf { points: pts };
+        }
+        let n = self.samples.len();
+        for i in 0..points {
+            let q = (i as f64 + 1.0) / points as f64;
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            pts.push((self.samples[idx], q));
+        }
+        Cdf { points: pts }
+    }
+}
+
+/// An empirical cumulative distribution: `(value, P(X ≤ value))` points.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    /// Sorted `(value, cumulative probability)` pairs.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Fraction of mass at or below `v` (interpolating between points).
+    #[must_use]
+    pub fn at(&self, v: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let mut prev = 0.0;
+        for &(x, p) in &self.points {
+            if v < x {
+                return prev;
+            }
+            prev = p;
+        }
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.median(), 2.5);
+        s.add(100.0);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s = Summary::new();
+        s.extend([0.0, 10.0]);
+        assert_eq!(s.percentile(0.0), 0.0);
+        assert_eq!(s.percentile(50.0), 5.0);
+        assert_eq!(s.percentile(100.0), 10.0);
+        assert_eq!(s.percentile(25.0), 2.5);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn stddev_known() {
+        let mut s = Summary::new();
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.stddev() - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn min_max() {
+        let mut s = Summary::new();
+        s.extend([5.0, -1.0, 3.0]);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_covers() {
+        let mut s = Summary::new();
+        s.extend((0..100).map(f64::from));
+        let cdf = s.cdf(10);
+        assert_eq!(cdf.points.len(), 10);
+        let mut last = f64::MIN;
+        for &(v, p) in &cdf.points {
+            assert!(v >= last);
+            last = v;
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert_eq!(cdf.points.last().unwrap().1, 1.0);
+        assert!(cdf.at(-1.0) < 0.2);
+        assert_eq!(cdf.at(1000.0), 1.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.add(7.0);
+        assert_eq!(s.median(), 7.0);
+        assert_eq!(s.percentile(99.0), 7.0);
+    }
+}

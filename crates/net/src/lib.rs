@@ -1,0 +1,29 @@
+//! Simulated wide-area network for the Octopus evaluation.
+//!
+//! The paper measures latency on PlanetLab and models the WAN in its
+//! security simulator with the King dataset (measured DNS-to-DNS RTTs,
+//! mean ≈ 182 ms, highly heterogeneous; §5.1 footnote 2). We have no
+//! King file, so [`latency::KingLikeLatency`] synthesizes an equivalent:
+//! nodes are embedded in a 2-D geography, pairwise one-way latency is the
+//! embedded distance scaled by a per-node-pair lognormal factor, and the
+//! whole distribution is calibrated so the mean RTT is ≈ 182 ms. Packet
+//! jitter follows the rule the paper takes from [2]: min(10 ms, 10 % of
+//! the transmission latency).
+//!
+//! On top of the latency model, [`world::World`] provides a deterministic
+//! message-passing substrate over the `octopus-sim` event queue: nodes
+//! implement [`world::NodeBehavior`] and exchange typed messages;
+//! delivery samples the latency model; every message is byte-accounted
+//! against [`wire::BandwidthLedger`] using the paper's wire-size model
+//! (footnote 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod wire;
+pub mod world;
+
+pub use latency::{ConstantLatency, KingLikeLatency, LatencyModel};
+pub use wire::{BandwidthLedger, WireMsg, sizes};
+pub use world::{Addr, Ctx, NodeBehavior, StepOutcome, World};

@@ -1,0 +1,171 @@
+//! Wire-size model and bandwidth accounting.
+//!
+//! The paper's bandwidth numbers (Table 3) are computed from a byte model
+//! given in footnote 4: each routing-state item (finger or successor) is
+//! 10 bytes, signatures are 40-byte ECDSA with a 4-byte timestamp,
+//! certificates are 50 bytes, and onion encryption is AES-128 (16-byte
+//! blocks). We adopt exactly those constants so our bandwidth estimates
+//! are comparable with the paper's, independent of our toy crypto's real
+//! sizes.
+
+use std::collections::HashMap;
+
+use octopus_id::NodeId;
+
+/// Byte-size constants from paper footnote 4.
+pub mod sizes {
+    /// One routing-state item (a finger or successor entry): id + address.
+    pub const ROUTING_ITEM: u32 = 10;
+    /// An ECDSA signature.
+    pub const SIGNATURE: u32 = 40;
+    /// Timestamp attached to signed routing tables.
+    pub const TIMESTAMP: u32 = 4;
+    /// An identity certificate (IP 6 + pubkey 20 + expiry 4 + CA sig 20).
+    pub const CERTIFICATE: u32 = 50;
+    /// AES block size used for onion layers.
+    pub const AES_BLOCK: u32 = 16;
+    /// UDP/IP header overhead per datagram.
+    pub const UDP_HEADER: u32 = 28;
+    /// A bare request (opcode + request id + key/target).
+    pub const REQUEST: u32 = 24;
+
+    /// A signed routing table of `items` entries: items + signature +
+    /// timestamp + the owner's certificate.
+    #[must_use]
+    pub const fn signed_table(items: u32) -> u32 {
+        items * ROUTING_ITEM + SIGNATURE + TIMESTAMP + CERTIFICATE
+    }
+
+    /// One onion layer of overhead on a payload (per-hop header rounded
+    /// to AES blocks).
+    #[must_use]
+    pub const fn onion_layer(payload: u32) -> u32 {
+        // next-hop item + padding to the next AES block boundary
+        let raw = payload + ROUTING_ITEM;
+        raw.div_ceil(AES_BLOCK) * AES_BLOCK
+    }
+}
+
+/// Messages that know their size on the wire.
+pub trait WireMsg {
+    /// Bytes this message occupies on the wire (excluding UDP headers,
+    /// which the ledger adds per datagram).
+    fn wire_bytes(&self) -> u32;
+}
+
+/// Per-node sent/received byte counters.
+#[derive(Clone, Debug, Default)]
+pub struct BandwidthLedger {
+    sent: HashMap<NodeId, u64>,
+    received: HashMap<NodeId, u64>,
+    total: u64,
+}
+
+impl BandwidthLedger {
+    /// Fresh ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account one datagram of `bytes` payload from `from` to `to`.
+    pub fn record(&mut self, from: NodeId, to: NodeId, bytes: u32) {
+        let total = u64::from(bytes) + u64::from(sizes::UDP_HEADER);
+        *self.sent.entry(from).or_default() += total;
+        *self.received.entry(to).or_default() += total;
+        self.total += total;
+    }
+
+    /// Bytes sent by `node`.
+    #[must_use]
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.sent.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Bytes received by `node`.
+    #[must_use]
+    pub fn received_by(&self, node: NodeId) -> u64 {
+        self.received.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total bytes moved across the network.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// Average per-node consumed bandwidth in kbps over `secs` seconds,
+    /// counting each node's sent + received bytes (the "bandwidth
+    /// consumption" of Table 3).
+    #[must_use]
+    pub fn mean_node_kbps(&self, n_nodes: usize, secs: f64) -> f64 {
+        if n_nodes == 0 || secs <= 0.0 {
+            return 0.0;
+        }
+        // every byte is counted once as sent and once as received
+        let per_node_bytes = (2.0 * self.total as f64) / n_nodes as f64;
+        per_node_bytes * 8.0 / 1000.0 / secs
+    }
+
+    /// Reset all counters (e.g. after a warm-up phase).
+    pub fn reset(&mut self) {
+        self.sent.clear();
+        self.received.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_table_size_matches_model() {
+        // 12 fingers + 6 successors = 18 items → 180 + 40 + 4 + 50
+        assert_eq!(sizes::signed_table(18), 274);
+    }
+
+    #[test]
+    fn onion_layer_rounds_to_block() {
+        assert_eq!(sizes::onion_layer(1) % sizes::AES_BLOCK, 0);
+        assert!(sizes::onion_layer(10) >= 10 + sizes::ROUTING_ITEM);
+        assert_eq!(sizes::onion_layer(6), 16);
+        assert_eq!(sizes::onion_layer(22), 32);
+    }
+
+    #[test]
+    fn ledger_accounts_both_ends() {
+        let mut l = BandwidthLedger::new();
+        l.record(NodeId(1), NodeId(2), 100);
+        assert_eq!(l.sent_by(NodeId(1)), 128);
+        assert_eq!(l.received_by(NodeId(2)), 128);
+        assert_eq!(l.sent_by(NodeId(2)), 0);
+        assert_eq!(l.total_bytes(), 128);
+    }
+
+    #[test]
+    fn kbps_computation() {
+        let mut l = BandwidthLedger::new();
+        // 2 nodes, 1000 bytes payload over 10 s
+        l.record(NodeId(1), NodeId(2), 1000 - sizes::UDP_HEADER);
+        // per-node bytes = 2*1000/2 = 1000 → 8000 bits / 10 s = 0.8 kbps
+        let kbps = l.mean_node_kbps(2, 10.0);
+        assert!((kbps - 0.8).abs() < 1e-9, "got {kbps}");
+    }
+
+    #[test]
+    fn kbps_degenerate() {
+        let l = BandwidthLedger::new();
+        assert_eq!(l.mean_node_kbps(0, 10.0), 0.0);
+        assert_eq!(l.mean_node_kbps(10, 0.0), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut l = BandwidthLedger::new();
+        l.record(NodeId(1), NodeId(2), 10);
+        l.reset();
+        assert_eq!(l.total_bytes(), 0);
+        assert_eq!(l.sent_by(NodeId(1)), 0);
+    }
+}

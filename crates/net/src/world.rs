@@ -1,0 +1,469 @@
+//! A deterministic message-passing world over the event queue.
+//!
+//! Protocol nodes implement [`NodeBehavior`]; the [`World`] owns them,
+//! routes typed messages through the latency model, delivers timers, and
+//! accounts bandwidth. Control events let a driver (e.g. the security
+//! simulator in `octopus-core::simnet`) interleave churn and measurement
+//! with protocol execution without borrowing conflicts: [`World::step`]
+//! returns control events to the caller instead of invoking callbacks.
+
+use std::collections::HashMap;
+
+use octopus_id::NodeId;
+use octopus_sim::{derive_rng, Duration, EventQueue, SimTime};
+use rand::rngs::StdRng;
+
+use crate::latency::LatencyModel;
+use crate::wire::{BandwidthLedger, WireMsg};
+
+/// Overlay address. Octopus identifies peers by ring id; the simulated
+/// transport maps ids directly to "IP addresses".
+pub type Addr = NodeId;
+
+/// A protocol node hosted in a [`World`].
+pub trait NodeBehavior {
+    /// Message type exchanged between nodes.
+    type Msg: WireMsg;
+    /// Per-node timer kinds.
+    type Timer;
+    /// Control events surfaced to the simulation driver.
+    type Control;
+
+    /// Handle a delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer, Self::Control>, from: Addr, msg: Self::Msg);
+
+    /// Handle an expired timer.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer, Self::Control>, timer: Self::Timer);
+
+    /// Called once when the node is inserted into the world (schedule
+    /// initial timers here).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer, Self::Control>) {
+        let _ = ctx;
+    }
+}
+
+/// Handler context: lets a node send messages, set timers, emit control
+/// events, and draw randomness — all without direct access to the world.
+pub struct Ctx<'a, M, T, C> {
+    now: SimTime,
+    self_addr: Addr,
+    rng: &'a mut StdRng,
+    outbox: Vec<(Addr, M, Duration)>,
+    timers: Vec<(Duration, T)>,
+    controls: Vec<C>,
+}
+
+impl<M, T, C> Ctx<'_, M, T, C> {
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's own address.
+    #[must_use]
+    pub fn addr(&self) -> Addr {
+        self.self_addr
+    }
+
+    /// Send `msg` to `to` (latency sampled by the world).
+    pub fn send(&mut self, to: Addr, msg: M) {
+        self.outbox.push((to, msg, Duration::ZERO));
+    }
+
+    /// Send with an *additional* artificial delay before transmission —
+    /// used by the middle relay B, which delays forwarded messages by a
+    /// random amount to defeat timing analysis (paper §4.7).
+    pub fn send_delayed(&mut self, to: Addr, msg: M, extra: Duration) {
+        self.outbox.push((to, msg, extra));
+    }
+
+    /// Arm a timer to fire after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, timer: T) {
+        self.timers.push((delay, timer));
+    }
+
+    /// Emit a control event to the simulation driver.
+    pub fn emit(&mut self, control: C) {
+        self.controls.push(control);
+    }
+
+    /// This node's deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+enum Event<M, T, C> {
+    Deliver { from: Addr, to: Addr, msg: M },
+    Timer { node: Addr, timer: T },
+    Control(C),
+}
+
+/// What a single [`World::step`] produced.
+pub enum StepOutcome<C> {
+    /// A protocol event (message or timer) was processed; control events
+    /// it emitted are included.
+    Protocol(Vec<C>),
+    /// A driver-scheduled control event came due.
+    Control(C),
+    /// The event queue is exhausted.
+    Idle,
+}
+
+/// The simulated network world.
+pub struct World<B: NodeBehavior, L: LatencyModel> {
+    nodes: HashMap<Addr, B>,
+    rngs: HashMap<Addr, StdRng>,
+    queue: EventQueue<Event<B::Msg, B::Timer, B::Control>>,
+    latency: L,
+    ledger: BandwidthLedger,
+    master_seed: u64,
+    transport_rng: StdRng,
+    dropped_to_dead: u64,
+}
+
+impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
+    /// New world with the given latency model and master seed.
+    #[must_use]
+    pub fn new(latency: L, master_seed: u64) -> Self {
+        World {
+            nodes: HashMap::new(),
+            rngs: HashMap::new(),
+            queue: EventQueue::new(),
+            latency,
+            ledger: BandwidthLedger::new(),
+            master_seed,
+            transport_rng: derive_rng(master_seed, b"transport", 0),
+            dropped_to_dead: 0,
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The bandwidth ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &BandwidthLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the ledger (e.g. to reset after warm-up).
+    pub fn ledger_mut(&mut self) -> &mut BandwidthLedger {
+        &mut self.ledger
+    }
+
+    /// Messages dropped because their destination had left the overlay.
+    #[must_use]
+    pub fn dropped_to_dead(&self) -> u64 {
+        self.dropped_to_dead
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is `addr` currently alive in the world?
+    #[must_use]
+    pub fn is_alive(&self, addr: Addr) -> bool {
+        self.nodes.contains_key(&addr)
+    }
+
+    /// Iterate over live node addresses.
+    pub fn addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Immutable access to a node's state (driver-side measurement).
+    #[must_use]
+    pub fn node(&self, addr: Addr) -> Option<&B> {
+        self.nodes.get(&addr)
+    }
+
+    /// Mutable access to a node's state (driver-side mutation between
+    /// steps; protocol code should use messages instead).
+    pub fn node_mut(&mut self, addr: Addr) -> Option<&mut B> {
+        self.nodes.get_mut(&addr)
+    }
+
+    /// Insert a node and run its `on_start` hook.
+    pub fn insert_node(&mut self, addr: Addr, node: B) {
+        let mut rng = derive_rng(self.master_seed, b"node", addr.0);
+        let mut node = node;
+        let mut ctx = Ctx {
+            now: self.queue.now(),
+            self_addr: addr,
+            rng: &mut rng,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            controls: Vec::new(),
+        };
+        node.on_start(&mut ctx);
+        let Ctx { outbox, timers, controls, .. } = ctx;
+        self.nodes.insert(addr, node);
+        self.rngs.insert(addr, rng);
+        self.flush(addr, outbox, timers);
+        for c in controls {
+            self.queue.push(self.queue.now(), Event::Control(c));
+        }
+    }
+
+    /// Remove a node (churn). Its pending timers and in-flight messages
+    /// to it are silently dropped, as for a crashed peer.
+    pub fn remove_node(&mut self, addr: Addr) -> Option<B> {
+        self.rngs.remove(&addr);
+        self.nodes.remove(&addr)
+    }
+
+    /// Driver-side: schedule a control event at absolute time `at`.
+    pub fn schedule_control(&mut self, at: SimTime, control: B::Control) {
+        self.queue.push(at, Event::Control(control));
+    }
+
+    /// Driver-side: inject a message from outside the overlay (used by
+    /// test harnesses; latency still applies).
+    pub fn inject_message(&mut self, from: Addr, to: Addr, msg: B::Msg) {
+        self.route(from, to, msg, Duration::ZERO);
+    }
+
+    /// Driver-side: invoke a closure against one node with a full
+    /// handler context — the entry point for "the application asks the
+    /// node to start a lookup".
+    pub fn with_node<F>(&mut self, addr: Addr, f: F) -> bool
+    where
+        F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
+    {
+        let Some(mut node) = self.nodes.remove(&addr) else {
+            return false;
+        };
+        let mut rng = self.rngs.remove(&addr).expect("rng exists for node");
+        let mut ctx = Ctx {
+            now: self.queue.now(),
+            self_addr: addr,
+            rng: &mut rng,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            controls: Vec::new(),
+        };
+        f(&mut node, &mut ctx);
+        let Ctx { outbox, timers, controls, .. } = ctx;
+        self.nodes.insert(addr, node);
+        self.rngs.insert(addr, rng);
+        self.flush(addr, outbox, timers);
+        for c in controls {
+            self.queue.push(self.queue.now(), Event::Control(c));
+        }
+        true
+    }
+
+    fn route(&mut self, from: Addr, to: Addr, msg: B::Msg, extra: Duration) {
+        let bytes = msg.wire_bytes();
+        self.ledger.record(from, to, bytes);
+        let lat = self.latency.sample(from, to, &mut self.transport_rng);
+        let at = self.queue.now() + extra + lat;
+        self.queue.push(at, Event::Deliver { from, to, msg });
+    }
+
+    fn flush(&mut self, from: Addr, outbox: Vec<(Addr, B::Msg, Duration)>, timers: Vec<(Duration, B::Timer)>) {
+        for (to, msg, extra) in outbox {
+            self.route(from, to, msg, extra);
+        }
+        for (delay, timer) in timers {
+            self.queue
+                .push(self.queue.now() + delay, Event::Timer { node: from, timer });
+        }
+    }
+
+    /// Process the next event. Returns what happened so the driver can
+    /// react to control events.
+    pub fn step(&mut self) -> StepOutcome<B::Control> {
+        loop {
+            let Some((_, ev)) = self.queue.pop() else {
+                return StepOutcome::Idle;
+            };
+            match ev {
+                Event::Control(c) => return StepOutcome::Control(c),
+                Event::Deliver { from, to, msg } => {
+                    let Some(mut node) = self.nodes.remove(&to) else {
+                        self.dropped_to_dead += 1;
+                        continue;
+                    };
+                    let mut rng = self.rngs.remove(&to).expect("rng exists");
+                    let mut ctx = Ctx {
+                        now: self.queue.now(),
+                        self_addr: to,
+                        rng: &mut rng,
+                        outbox: Vec::new(),
+                        timers: Vec::new(),
+                        controls: Vec::new(),
+                    };
+                    node.on_message(&mut ctx, from, msg);
+                    let Ctx { outbox, timers, controls, .. } = ctx;
+                    self.nodes.insert(to, node);
+                    self.rngs.insert(to, rng);
+                    self.flush(to, outbox, timers);
+                    if controls.is_empty() {
+                        continue;
+                    }
+                    return StepOutcome::Protocol(controls);
+                }
+                Event::Timer { node: addr, timer } => {
+                    let Some(mut node) = self.nodes.remove(&addr) else {
+                        continue; // timer of a dead node
+                    };
+                    let mut rng = self.rngs.remove(&addr).expect("rng exists");
+                    let mut ctx = Ctx {
+                        now: self.queue.now(),
+                        self_addr: addr,
+                        rng: &mut rng,
+                        outbox: Vec::new(),
+                        timers: Vec::new(),
+                        controls: Vec::new(),
+                    };
+                    node.on_timer(&mut ctx, timer);
+                    let Ctx { outbox, timers, controls, .. } = ctx;
+                    self.nodes.insert(addr, node);
+                    self.rngs.insert(addr, rng);
+                    self.flush(addr, outbox, timers);
+                    if controls.is_empty() {
+                        continue;
+                    }
+                    return StepOutcome::Protocol(controls);
+                }
+            }
+        }
+    }
+
+    /// Run the protocol until `deadline` or queue exhaustion, returning
+    /// emitted control events tagged with their emission time.
+    pub fn run_until(&mut self, deadline: SimTime) -> Vec<(SimTime, B::Control)> {
+        let mut out = Vec::new();
+        while self
+            .queue
+            .next_time()
+            .is_some_and(|t| t <= deadline)
+        {
+            match self.step() {
+                StepOutcome::Idle => break,
+                StepOutcome::Control(c) => out.push((self.now(), c)),
+                StepOutcome::Protocol(cs) => out.extend(cs.into_iter().map(|c| (self.now(), c))),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstantLatency;
+
+    /// A ping-pong node: replies to Ping with Pong, counts pongs.
+    struct PingPong {
+        pongs: u32,
+        peer: Option<Addr>,
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Pm {
+        Ping,
+        Pong,
+    }
+
+    impl WireMsg for Pm {
+        fn wire_bytes(&self) -> u32 {
+            8
+        }
+    }
+
+    impl NodeBehavior for PingPong {
+        type Msg = Pm;
+        type Timer = ();
+        type Control = u32;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Pm, (), u32>) {
+            if let Some(p) = self.peer {
+                ctx.send(p, Pm::Ping);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Pm, (), u32>, from: Addr, msg: Pm) {
+            match msg {
+                Pm::Ping => ctx.send(from, Pm::Pong),
+                Pm::Pong => {
+                    self.pongs += 1;
+                    ctx.emit(self.pongs);
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Pm, (), u32>, _t: ()) {}
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(10)), 1);
+        w.insert_node(NodeId(2), PingPong { pongs: 0, peer: None });
+        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: Some(NodeId(2)) });
+        let ctrl = w.run_until(SimTime::from_secs(1));
+        assert_eq!(ctrl.len(), 1);
+        assert_eq!(ctrl[0].1, 1);
+        // RTT with 10ms one-way latency
+        assert_eq!(ctrl[0].0, SimTime::from_millis(20));
+        assert_eq!(w.node(NodeId(1)).unwrap().pongs, 1);
+    }
+
+    #[test]
+    fn message_to_dead_node_dropped() {
+        let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(10)), 1);
+        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: Some(NodeId(2)) });
+        let ctrl = w.run_until(SimTime::from_secs(1));
+        assert!(ctrl.is_empty());
+        assert_eq!(w.dropped_to_dead(), 1);
+    }
+
+    #[test]
+    fn bandwidth_accounted() {
+        let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(10)), 1);
+        w.insert_node(NodeId(2), PingPong { pongs: 0, peer: None });
+        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: Some(NodeId(2)) });
+        w.run_until(SimTime::from_secs(1));
+        // two 8-byte messages + 28B UDP headers each
+        assert_eq!(w.ledger().total_bytes(), 2 * (8 + 28));
+    }
+
+    #[test]
+    fn control_events_scheduled_by_driver() {
+        let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(10)), 1);
+        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: None });
+        w.schedule_control(SimTime::from_secs(5), 42);
+        let ctrl = w.run_until(SimTime::from_secs(10));
+        assert_eq!(ctrl, vec![(SimTime::from_secs(5), 42)]);
+    }
+
+    #[test]
+    fn with_node_drives_protocol() {
+        let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(5)), 1);
+        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: None });
+        w.insert_node(NodeId(2), PingPong { pongs: 0, peer: None });
+        assert!(w.with_node(NodeId(1), |_n, ctx| ctx.send(NodeId(2), Pm::Ping)));
+        assert!(!w.with_node(NodeId(9), |_n, _ctx| {}));
+        let ctrl = w.run_until(SimTime::from_secs(1));
+        assert_eq!(ctrl.len(), 1);
+    }
+
+    #[test]
+    fn remove_node_kills_timers_silently() {
+        let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(5)), 1);
+        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: None });
+        w.with_node(NodeId(1), |_n, ctx| ctx.set_timer(Duration::from_secs(1), ()));
+        w.remove_node(NodeId(1));
+        let ctrl = w.run_until(SimTime::from_secs(5));
+        assert!(ctrl.is_empty());
+    }
+}

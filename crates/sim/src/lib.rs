@@ -1,0 +1,30 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! The paper evaluates Octopus' attacker-identification mechanisms with
+//! an event-based simulator (§5.1, written in C++ there). This crate is
+//! our equivalent: a time-ordered event queue ([`EventQueue`]),
+//! simulation clock ([`SimTime`]), deterministic per-component RNG
+//! streams ([`rng`]), and the exponential churn process of §5.1
+//! ([`churn`]).
+//!
+//! The engine is protocol-agnostic: `octopus-net` layers a message-passing
+//! world on top, and `octopus-core::simnet` layers the full Octopus
+//! security simulation on that.
+//!
+//! Determinism contract: given the same master seed and the same sequence
+//! of `push` calls, `pop` returns events in an identical order (ties break
+//! by insertion sequence number), so every experiment in the paper harness
+//! is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use churn::ChurnProcess;
+pub use queue::EventQueue;
+pub use rng::{derive_rng, split_seed};
+pub use time::{Duration, SimTime};

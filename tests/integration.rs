@@ -1,0 +1,82 @@
+//! Cross-crate integration tests through the public facade.
+
+use octopus::anonymity::{AnonymityConfig, LookupPresim, PresimConfig};
+use octopus::chord::{iterative_lookup, ChordConfig, GroundTruthView};
+use octopus::core::{AttackKind, OctopusConfig, SecuritySim, SimConfig};
+use octopus::crypto::{onion, CertificateAuthority, KeyPair};
+use octopus::id::{IdSpace, Key, NodeId};
+use octopus::sim::Duration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn facade_exposes_a_working_stack() {
+    // ring + lookup
+    let mut rng = StdRng::seed_from_u64(1);
+    let space = IdSpace::random(300, &mut rng);
+    let view = GroundTruthView::new(&space, ChordConfig::for_network(300));
+    let key = Key(rng.gen());
+    let trace = iterative_lookup(&view, space.random_member(&mut rng), key);
+    assert_eq!(trace.result(), Some(space.owner_of(key).owner));
+
+    // crypto: certificates + onion round trip
+    let mut ca = CertificateAuthority::new(&mut rng);
+    let kp = KeyPair::generate(&mut rng);
+    let cert = ca.issue(NodeId(7), 1, kp.public(), u64::MAX);
+    assert!(ca.check(&cert, 0).is_ok());
+    let keys = [[1u8; 32], [2u8; 32]];
+    let wrapped = onion::wrap(b"q", &keys, &[9, 0], 1);
+    let l1 = onion::unwrap(&wrapped, &keys[0]).unwrap();
+    let l2 = onion::unwrap(&l1.inner, &keys[1]).unwrap();
+    assert_eq!(l2.inner, b"q");
+}
+
+#[test]
+fn end_to_end_attack_and_eviction() {
+    let cfg = SimConfig {
+        n: 120,
+        malicious_fraction: 0.2,
+        attack: AttackKind::LookupBias,
+        attack_rate: 1.0,
+        duration: Duration::from_secs(200),
+        seed: 5,
+        octopus: OctopusConfig::for_network(120),
+        ..SimConfig::default()
+    };
+    let report = SecuritySim::new(cfg).run();
+    assert_eq!(report.false_positives, 0);
+    assert!(report.revocations > 0, "attackers must be identified");
+    assert!(report.completed_lookups > 50);
+}
+
+#[test]
+fn anonymity_pipeline_runs_end_to_end() {
+    let presim = LookupPresim::run(PresimConfig {
+        n: 3000,
+        samples: 200,
+        seed: 3,
+    });
+    let cfg = AnonymityConfig {
+        n: 3000,
+        f: 0.2,
+        alpha: 0.01,
+        dummies: 6,
+        trials: 100,
+        seed: 4,
+    };
+    let h_i = octopus::anonymity::initiator_entropy(&cfg, &presim);
+    let h_t = octopus::anonymity::target_entropy(&cfg, &presim);
+    let ideal = cfg.ideal_entropy();
+    assert!(h_i > ideal - 3.0 && h_i <= ideal + 0.01);
+    assert!(h_t > ideal - 4.0 && h_t <= ideal + 0.01);
+}
+
+#[test]
+fn timing_attack_defeated_through_facade() {
+    let cfg = octopus::anonymity::TimingConfig {
+        trials: 100,
+        ..Default::default()
+    };
+    let err = octopus::anonymity::timing_attack_error_rate(&cfg);
+    assert!(err > 0.9);
+}
