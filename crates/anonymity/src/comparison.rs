@@ -32,7 +32,9 @@ fn range_entropy(cfg: &AnonymityConfig, presim: &LookupPresim, observed: &[usize
     match estimate_range(observed, presim.mean_hops) {
         Some(r) => {
             let width = r.width.clamp(1, cfg.n);
-            let probs: Vec<f64> = (0..width.min(512)).map(|i| presim.gamma(i, width)).collect();
+            let probs: Vec<f64> = (0..width.min(512))
+                .map(|i| presim.gamma(i, width))
+                .collect();
             octopus_metrics::entropy_bits(&probs)
         }
         None => (cfg.n as f64).log2(),

@@ -80,8 +80,7 @@ pub(crate) fn sample_lookup_obs<R: Rng + ?Sized>(
 /// queries).
 pub(crate) fn linkable_query_prob(f: f64) -> f64 {
     let observed = 1.0 - (1.0 - f) * (1.0 - f);
-    observed * (f * f + f * f * f - f * f * f * f)
-        .max(f * f * (1.0 - 0.5 * f))
+    observed * (f * f + f * f * f - f * f * f * f).max(f * f * (1.0 - 0.5 * f))
 }
 
 /// Compute H(I) in bits.
@@ -169,7 +168,10 @@ mod tests {
         let p = presim();
         let h10 = initiator_entropy(&cfg(0.10, 6), &p);
         let h20 = initiator_entropy(&cfg(0.20, 6), &p);
-        assert!(h20 <= h10 + 0.05, "more adversaries leak more ({h10} → {h20})");
+        assert!(
+            h20 <= h10 + 0.05,
+            "more adversaries leak more ({h10} → {h20})"
+        );
         let leak = cfg(0.20, 6).ideal_entropy() - h20;
         assert!(leak < 2.5, "Octopus H(I) leak must stay small (got {leak})");
     }

@@ -101,7 +101,10 @@ impl LookupPresim {
     #[must_use]
     pub fn xi_weight(&self, dist: usize) -> f64 {
         let bin = (usize::BITS - (dist + 1).leading_zeros()) as usize;
-        self.xi.get(bin.min(self.xi.len() - 1)).copied().unwrap_or(0.0)
+        self.xi
+            .get(bin.min(self.xi.len() - 1))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Sample a lookup trace (query distances to target, in order).
@@ -156,7 +159,11 @@ mod tests {
     #[test]
     fn hops_logarithmic() {
         let p = small();
-        assert!(p.mean_hops > 1.0 && p.mean_hops < 15.0, "hops {}", p.mean_hops);
+        assert!(
+            p.mean_hops > 1.0 && p.mean_hops < 15.0,
+            "hops {}",
+            p.mean_hops
+        );
     }
 
     #[test]

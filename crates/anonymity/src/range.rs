@@ -40,7 +40,10 @@ pub fn estimate_range(observed: &[usize], mean_hops: f64) -> Option<RangeEstimat
         // lookup from there would overshoot by at most the gap it closed
         let gap = sorted[1] - sorted[0];
         let width = (closest + gap.max(1)).min(closest * 2 + 2);
-        Some(RangeEstimate { offset: 1, width: width.max(1) })
+        Some(RangeEstimate {
+            offset: 1,
+            width: width.max(1),
+        })
     } else {
         // single query: the remaining distance is distributed like a
         // full lookup tail — bound it by the typical per-hop halving

@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn without_delay_attack_works_better() {
-        let with = TimingConfig { trials: 150, ..TimingConfig::default() };
+        let with = TimingConfig {
+            trials: 150,
+            ..TimingConfig::default()
+        };
         let without = TimingConfig {
             max_delay_ms: 0.0,
             alpha: 0.0001, // few candidates, no delay: matching gets a chance

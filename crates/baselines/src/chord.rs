@@ -58,7 +58,9 @@ pub fn chord_lookup<V: RoutingView, L: LatencyModel, R: Rng + ?Sized>(
             total = total + straggler_delay(rng, false);
         }
         // vanilla Chord replies with a single closest finger
-        bytes += u64::from(sizes::REQUEST) + u64::from(sizes::ROUTING_ITEM) + 2 * u64::from(sizes::UDP_HEADER);
+        bytes += u64::from(sizes::REQUEST)
+            + u64::from(sizes::ROUTING_ITEM)
+            + 2 * u64::from(sizes::UDP_HEADER);
     }
     ChordLookup {
         trace,
@@ -84,7 +86,10 @@ mod tests {
         let lat = KingLikeLatency::new(2);
         let initiator = space.random_member(&mut rng);
         let res = chord_lookup(&view, initiator, Key(rng.gen()), &lat, &mut rng);
-        assert_eq!(res.trace.result(), Some(space.owner_of(res.trace.key).owner));
+        assert_eq!(
+            res.trace.result(),
+            Some(space.owner_of(res.trace.key).owner)
+        );
         // h hops ≈ log N; each RTT ≈ 182 ms → well under 10 s
         assert!(res.latency < Duration::from_secs(10));
         if res.trace.hops() > 0 {

@@ -59,8 +59,9 @@ pub fn halo_lookup<V: RoutingView, L: LatencyModel, R: Rng + ?Sized>(
             let trace = iterative_lookup(view, initiator, sub_key);
             let mut sub_latency = Duration::ZERO;
             for &q in &trace.queried {
-                sub_latency =
-                    sub_latency + latency.sample(initiator, q, rng) + latency.sample(q, initiator, rng);
+                sub_latency = sub_latency
+                    + latency.sample(initiator, q, rng)
+                    + latency.sample(q, initiator, rng);
                 if rng.gen::<f64>() < crate::chord::STRAGGLER_PROB {
                     sub_latency = sub_latency + crate::chord::straggler_delay(rng, true);
                 }
@@ -106,10 +107,7 @@ pub fn halo_lookup<V: RoutingView, L: LatencyModel, R: Rng + ?Sized>(
     for &c in &candidates {
         *counts.entry(c).or_default() += 1;
     }
-    let result = counts
-        .into_iter()
-        .max_by_key(|&(_, c)| c)
-        .map(|(n, _)| n);
+    let result = counts.into_iter().max_by_key(|&(_, c)| c).map(|(n, _)| n);
     HaloLookup {
         candidates,
         result,
@@ -181,6 +179,9 @@ mod tests {
         let key = Key(rng.gen());
         let h = halo_lookup(&view, i, key, &lat, &mut rng);
         let c = crate::chord::chord_lookup(&view, i, key, &lat, &mut rng);
-        assert!(h.bytes > 3 * c.bytes.max(1), "8×4 redundancy must multiply traffic");
+        assert!(
+            h.bytes > 3 * c.bytes.max(1),
+            "8×4 redundancy must multiply traffic"
+        );
     }
 }

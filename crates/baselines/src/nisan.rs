@@ -122,6 +122,9 @@ mod tests {
             let n = nisan_lookup(&view, cfg, 500, i, Key(rng.gen()), &lat, &mut rng);
             failures += n.bound_failures;
         }
-        assert!(failures <= 2, "honest fingertables should pass bound checks");
+        assert!(
+            failures <= 2,
+            "honest fingertables should pass bound checks"
+        );
     }
 }

@@ -20,7 +20,9 @@ fn bench_rsa(c: &mut Criterion) {
     let kp = KeyPair::generate(&mut rng);
     let msg = b"signed routing table bytes";
     let sig = kp.sign(msg);
-    c.bench_function("rsa64_sign", |b| b.iter(|| kp.sign(std::hint::black_box(msg))));
+    c.bench_function("rsa64_sign", |b| {
+        b.iter(|| kp.sign(std::hint::black_box(msg)))
+    });
     c.bench_function("rsa64_verify", |b| {
         b.iter(|| kp.public().verify(std::hint::black_box(msg), sig))
     });

@@ -16,7 +16,11 @@ fn main() {
     let n = scale.anon_n();
     let trials = scale.anon_trials();
     println!("pre-simulating lookups on an N = {n} ring…");
-    let presim = LookupPresim::run(PresimConfig { n, samples: 1500, seed: 7 });
+    let presim = LookupPresim::run(PresimConfig {
+        n,
+        samples: 1500,
+        seed: 7,
+    });
     let ideal = (n as f64).log2();
     println!("ideal entropy: {ideal:.2} bits\n");
 
@@ -56,7 +60,17 @@ fn main() {
     println!("{}", t.render());
 
     println!("Fig 5(b)/Fig 6: comparison at alpha = 1%, d = 6");
-    let mut t = TextTable::new(["f", "Octopus H(I)", "NISAN H(I)", "Torsk H(I)", "Chord H(I)", "Octopus H(T)", "NISAN H(T)", "Torsk H(T)", "Chord H(T)"]);
+    let mut t = TextTable::new([
+        "f",
+        "Octopus H(I)",
+        "NISAN H(I)",
+        "Torsk H(I)",
+        "Chord H(I)",
+        "Octopus H(T)",
+        "NISAN H(T)",
+        "Torsk H(T)",
+        "Chord H(T)",
+    ]);
     for &f in &fs {
         let c = cfg(f, 0.01, 6);
         let nis = nisan_entropies(&c, &presim);
@@ -81,5 +95,8 @@ fn main() {
     let leak_t = ideal - target_entropy(&c, &presim);
     let leak_nisan = ideal - nisan_entropies(&c, &presim).h_i;
     println!("headline @ f=20%: Octopus leaks {leak_i:.2} bit (I), {leak_t:.2} bit (T);");
-    println!("NISAN leaks {leak_nisan:.2} bit (I) — {:.1}x more than Octopus", leak_nisan / leak_i.max(0.01));
+    println!(
+        "NISAN leaks {leak_nisan:.2} bit (I) — {:.1}x more than Octopus",
+        leak_nisan / leak_i.max(0.01)
+    );
 }

@@ -20,7 +20,11 @@ fn main() {
         for &(t, v) in report.ca_messages.iter().step_by(2) {
             println!("{t:7.0}  {v:7.0}");
         }
-        let peak = report.ca_messages.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        let peak = report
+            .ca_messages
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
         println!("(peak {:.1} msgs/s)\n", peak / 10.0);
     }
 }

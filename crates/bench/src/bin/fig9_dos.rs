@@ -10,7 +10,10 @@ fn main() {
     for rate in [1.0, 0.5] {
         let cfg = security_config(scale, AttackKind::SelectiveDos, rate, 39);
         let report = SecuritySim::new(cfg).run();
-        print_fraction_series(&format!("attack rate = {:.0}%", rate * 100.0), &report.malicious_fraction);
+        print_fraction_series(
+            &format!("attack rate = {:.0}%", rate * 100.0),
+            &report.malicious_fraction,
+        );
         println!(
             "(FP rate {:.2}%, failed lookups {})\n",
             report.false_positive_rate() * 100.0,

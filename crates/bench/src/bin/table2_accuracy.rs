@@ -23,9 +23,21 @@ fn main() {
         "Alarm l=10m",
     ]);
     let attacks = [
-        ("Lookup Bias", AttackKind::LookupBias, ReportCat::NeighborSurveillance),
-        ("Finger Manipulation", AttackKind::FingerManipulation, ReportCat::FingerSurveillance),
-        ("Finger Pollution", AttackKind::FingerPollution, ReportCat::FingerUpdate),
+        (
+            "Lookup Bias",
+            AttackKind::LookupBias,
+            ReportCat::NeighborSurveillance,
+        ),
+        (
+            "Finger Manipulation",
+            AttackKind::FingerManipulation,
+            ReportCat::FingerSurveillance,
+        ),
+        (
+            "Finger Pollution",
+            AttackKind::FingerPollution,
+            ReportCat::FingerUpdate,
+        ),
     ];
     for (name, attack, cat) in attacks {
         let mut cells = vec![name.to_string()];

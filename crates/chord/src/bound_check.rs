@@ -68,7 +68,11 @@ impl BoundChecker {
     /// where N is a parameter).
     #[must_use]
     pub fn from_network_size(config: ChordConfig, n: usize) -> Self {
-        let mean_spacing = if n == 0 { u64::MAX / 2 } else { u64::MAX / n as u64 };
+        let mean_spacing = if n == 0 {
+            u64::MAX / 2
+        } else {
+            u64::MAX / n as u64
+        };
         BoundChecker {
             config,
             mean_spacing,
@@ -183,7 +187,10 @@ mod tests {
         let truth = u64::MAX / 1000;
         let est = checker.mean_spacing();
         // within an order of magnitude is plenty for a β=16 bound
-        assert!(est > truth / 10 && est < truth.saturating_mul(10), "estimate {est} vs {truth}");
+        assert!(
+            est > truth / 10 && est < truth.saturating_mul(10),
+            "estimate {est} vs {truth}"
+        );
     }
 
     #[test]
@@ -201,7 +208,10 @@ mod tests {
         let fake = NodeId(target.0.wrapping_add(span / 4));
         table.fingers[i as usize] = fake;
         let bad = checker.check_table(&table);
-        assert!(bad.iter().any(|&(j, _)| j == i), "manipulated finger must fail");
+        assert!(
+            bad.iter().any(|&(j, _)| j == i),
+            "manipulated finger must fail"
+        );
     }
 
     #[test]
@@ -231,7 +241,10 @@ mod tests {
         let target = cfg.finger_target(owner, 3);
         // a colluder 2 mean-spacings past the target: plausible
         table.fingers[3] = NodeId(target.0.wrapping_add(2 * (u64::MAX / 1000)));
-        assert!(checker.passes(&table), "bound checking is only a moderate defense");
+        assert!(
+            checker.passes(&table),
+            "bound checking is only a moderate defense"
+        );
     }
 
     #[test]

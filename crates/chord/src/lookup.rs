@@ -179,7 +179,11 @@ mod tests {
             let initiator = space.random_member(&mut rng);
             let key = Key(rng.gen());
             let trace = iterative_lookup(&view, initiator, key);
-            assert!(trace.hops() <= 30, "hops {} too high for N=1000", trace.hops());
+            assert!(
+                trace.hops() <= 30,
+                "hops {} too high for N=1000",
+                trace.hops()
+            );
             total += trace.hops();
         }
         let mean = total as f64 / trials as f64;

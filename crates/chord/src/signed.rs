@@ -61,7 +61,12 @@ fn signing_bytes(table: &RoutingTable, timestamp: u64) -> Vec<u8> {
 impl SignedRoutingTable {
     /// Sign `table` at `timestamp` with the owner's key pair.
     #[must_use]
-    pub fn sign(table: RoutingTable, timestamp: u64, keypair: &KeyPair, certificate: Certificate) -> Self {
+    pub fn sign(
+        table: RoutingTable,
+        timestamp: u64,
+        keypair: &KeyPair,
+        certificate: Certificate,
+    ) -> Self {
         let signature = keypair.sign(&signing_bytes(&table, timestamp));
         SignedRoutingTable {
             table,

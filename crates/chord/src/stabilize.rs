@@ -28,7 +28,12 @@ pub fn merge_successor_list(own: NodeId, s1: NodeId, s1_list: &[NodeId], k: usiz
 
 /// Mirror of [`merge_successor_list`] for the anticlockwise direction.
 #[must_use]
-pub fn merge_predecessor_list(own: NodeId, p1: NodeId, p1_list: &[NodeId], k: usize) -> Vec<NodeId> {
+pub fn merge_predecessor_list(
+    own: NodeId,
+    p1: NodeId,
+    p1_list: &[NodeId],
+    k: usize,
+) -> Vec<NodeId> {
     merge_successor_list(own, p1, p1_list, k)
 }
 
@@ -147,10 +152,7 @@ mod tests {
             NodeId(10),
             &[NodeId(20), NodeId(30), NodeId(5)]
         ));
-        assert!(!is_clockwise_ordered(
-            NodeId(10),
-            &[NodeId(30), NodeId(20)]
-        ));
+        assert!(!is_clockwise_ordered(NodeId(10), &[NodeId(30), NodeId(20)]));
         assert!(!is_clockwise_ordered(NodeId(10), &[NodeId(10)]));
         assert!(is_anticlockwise_ordered(
             NodeId(10),

@@ -109,7 +109,9 @@ impl RoutingTable {
     /// Canonical byte encoding, the content covered by table signatures.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 * (2 + self.fingers.len() + self.successors.len() + self.predecessors.len()));
+        let mut out = Vec::with_capacity(
+            8 * (2 + self.fingers.len() + self.successors.len() + self.predecessors.len()),
+        );
         out.extend_from_slice(&self.owner.0.to_be_bytes());
         for (tag, list) in [
             (0u8, &self.fingers),

@@ -166,10 +166,7 @@ impl AdversaryState {
     #[must_use]
     pub fn next_colluder_after(&self, pos: NodeId) -> Option<NodeId> {
         self.colluders
-            .range((
-                std::ops::Bound::Excluded(pos),
-                std::ops::Bound::Unbounded,
-            ))
+            .range((std::ops::Bound::Excluded(pos), std::ops::Bound::Unbounded))
             .next()
             .copied()
             .or_else(|| self.colluders.iter().next().copied().filter(|&c| c != pos))
@@ -182,7 +179,13 @@ impl AdversaryState {
             .range(..pos)
             .next_back()
             .copied()
-            .or_else(|| self.colluders.iter().next_back().copied().filter(|&c| c != pos))
+            .or_else(|| {
+                self.colluders
+                    .iter()
+                    .next_back()
+                    .copied()
+                    .filter(|&c| c != pos)
+            })
     }
 
     /// A colluders-only successor list for `owner` (§4.3's manipulated
@@ -316,7 +319,11 @@ mod tests {
     #[test]
     fn fake_fingers_respect_bound() {
         let a = adversary_with(&[1000, 5000]);
-        let cfg = ChordConfig { fingers: 4, successors: 2, predecessors: 2 };
+        let cfg = ChordConfig {
+            fingers: 4,
+            successors: 2,
+            predecessors: 2,
+        };
         // node 0's finger targets: 2^60, 2^61, 2^62, 2^63 — colluders at
         // 1000/5000 are nowhere near within a small bound, so honest
         // fingers are kept
@@ -341,7 +348,9 @@ mod tests {
     fn consistent_collusion_rate() {
         let mut rng = StdRng::seed_from_u64(2);
         let a = AdversaryState::new(AttackKind::FingerManipulation, 1.0, 0.5);
-        let hits = (0..10_000).filter(|_| a.colludes_consistently(&mut rng)).count();
+        let hits = (0..10_000)
+            .filter(|_| a.colludes_consistently(&mut rng))
+            .count();
         assert!((4500..5500).contains(&hits), "got {hits}");
     }
 }

@@ -244,7 +244,9 @@ impl CaNode {
                 };
                 // validate the report itself
                 if reporter_cert.node_id != reporter
-                    || reporter_cert.verify(self.authority.public_key(), now).is_err()
+                    || reporter_cert
+                        .verify(self.authority.public_key(), now)
+                        .is_err()
                     || self.authority.is_revoked(reporter)
                     || !self.verify_signed_list(&accused_list, now)
                 {
@@ -281,7 +283,9 @@ impl CaNode {
             } => {
                 let category = ReportCat::FingerSurveillance;
                 if reporter_cert.node_id != reporter
-                    || reporter_cert.verify(self.authority.public_key(), now).is_err()
+                    || reporter_cert
+                        .verify(self.authority.public_key(), now)
+                        .is_err()
                     || !self.verify_signed_list(&table, now)
                     || !self.verify_signed_list(&finger_pred_list, now)
                     || !self.verify_signed_list(&pred_succ_list, now)
@@ -332,7 +336,13 @@ impl CaNode {
                         category,
                     },
                 );
-                ctx.send(y, Msg::CaProvRequest { case, slot: finger_index });
+                ctx.send(
+                    y,
+                    Msg::CaProvRequest {
+                        case,
+                        slot: finger_index,
+                    },
+                );
                 ctx.set_timer(self.cfg.request_timeout, Timer::CaCaseTimeout { case });
                 // if z should also appear among F′'s claimed
                 // predecessors but does not, F′ covered for the
@@ -356,7 +366,9 @@ impl CaNode {
             } => {
                 let category = ReportCat::SelectiveDos;
                 if reporter_cert.node_id != reporter
-                    || reporter_cert.verify(self.authority.public_key(), now).is_err()
+                    || reporter_cert
+                        .verify(self.authority.public_key(), now)
+                        .is_err()
                     || relays.is_empty()
                 {
                     return;
@@ -557,7 +569,10 @@ impl CaNode {
                 if std::env::var("OCTO_DEBUG").is_ok() {
                     for p in &relevant {
                         let expect = stabilize::merge_successor_list(
-                            accused, p.owner(), &p.table.successors, k,
+                            accused,
+                            p.owner(),
+                            &p.table.successors,
+                            k,
                         );
                         for e in expect {
                             if !accused_list.table.successors.contains(&e) {
@@ -606,8 +621,12 @@ impl CaNode {
         if relays.get(*idx).copied() != Some(from) {
             return;
         }
-        let Some(Case::Dropper { flow: case_flow, relays, target, idx }) =
-            self.cases.remove(&case_id)
+        let Some(Case::Dropper {
+            flow: case_flow,
+            relays,
+            target,
+            idx,
+        }) = self.cases.remove(&case_id)
         else {
             return;
         };
@@ -621,9 +640,8 @@ impl CaNode {
         // window must be generous — convictions demand parties that were
         // continuously stable around the incident
         let window = churn_excuse_window(&self.cfg) + 60;
-        let stable = |id: NodeId| {
-            self.live.contains(&id) && !self.recently_churned(id, now, window)
-        };
+        let stable =
+            |id: NodeId| self.live.contains(&id) && !self.recently_churned(id, now, window);
         let is_exit = idx + 1 >= relays.len();
         let valid = if is_exit {
             // the exit's "next hop" is the queried target; the target
@@ -696,8 +714,14 @@ impl CaNode {
         if *y != from {
             return;
         }
-        let Some(Case::FingerProv { y, fprime, ideal, z, table_ts, category }) =
-            self.cases.remove(&case_id)
+        let Some(Case::FingerProv {
+            y,
+            fprime,
+            ideal,
+            z,
+            table_ts,
+            category,
+        }) = self.cases.remove(&case_id)
         else {
             return;
         };
@@ -712,9 +736,10 @@ impl CaNode {
         }
         // does the list actually justify the adoption? no member may sit
         // in the gap [ideal, F′)
-        let justifies = !list.table.successors.iter().any(|&m| {
-            m != fprime && ideal.distance_to_node(m) < ideal.distance_to_node(fprime)
-        });
+        let justifies =
+            !list.table.successors.iter().any(|&m| {
+                m != fprime && ideal.distance_to_node(m) < ideal.distance_to_node(fprime)
+            });
         if !justifies {
             // provenance that admits a closer node means the finger has
             // since been refreshed (or the node's bookkeeping is stale) —
@@ -767,7 +792,9 @@ impl CaNode {
             return;
         };
         let (accused, category) = match &case {
-            Case::ListOmission { accused, category, .. } => (*accused, *category),
+            Case::ListOmission {
+                accused, category, ..
+            } => (*accused, *category),
             Case::FingerProv { y, category, .. } => (*y, *category),
             Case::Dropper { relays, idx, .. } => (relays[*idx], ReportCat::SelectiveDos),
         };
@@ -858,7 +885,11 @@ impl NodeBehavior for CaNode {
             Msg::CaProofReply { case, proofs, .. } => {
                 self.on_proof_reply(ctx, from, case, proofs);
             }
-            Msg::CaReceiptReply { case, flow, receipt } => {
+            Msg::CaReceiptReply {
+                case,
+                flow,
+                receipt,
+            } => {
                 self.on_receipt_reply(ctx, from, case, flow, receipt);
             }
             Msg::CaProvReply { case, prov } => {

@@ -95,7 +95,10 @@ impl OctopusNode {
                 ctx,
                 &relays,
                 target,
-                AnonPurpose::LookupQuery { lookup: id, dummy: true },
+                AnonPurpose::LookupQuery {
+                    lookup: id,
+                    dummy: true,
+                },
             );
         }
     }
@@ -107,7 +110,12 @@ impl OctopusNode {
     /// collide with its own reply-routing state (and a repeated relay
     /// weakens the path in the real system too) — and none may be the
     /// queried node or the initiator.
-    fn lookup_path(&mut self, ctx: &mut NodeCtx<'_>, id: u64, target: NodeId) -> Option<Vec<NodeId>> {
+    fn lookup_path(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        id: u64,
+        target: NodeId,
+    ) -> Option<Vec<NodeId>> {
         let (a, b) = self.lookups.get(&id)?.first_pair;
         if a == target || b == target || a == self.id || b == self.id {
             return None;
@@ -139,7 +147,10 @@ impl OctopusNode {
             ctx,
             &relays,
             target,
-            AnonPurpose::LookupQuery { lookup: id, dummy: false },
+            AnonPurpose::LookupQuery {
+                lookup: id,
+                dummy: false,
+            },
         );
     }
 
@@ -197,7 +208,10 @@ impl OctopusNode {
         };
         let target = st.awaiting;
         if std::env::var("OCTO_DEBUG").is_ok() {
-            eprintln!("[dbg] lookup timeout at {} flow={flow:x} target={target} relays={relays:?}", ctx.now());
+            eprintln!(
+                "[dbg] lookup timeout at {} flow={flow:x} target={target} relays={relays:?}",
+                ctx.now()
+            );
         }
         // Appendix II: report the failed path so the CA can walk the
         // forwarding receipts and identify the dropper
@@ -251,10 +265,8 @@ impl OctopusNode {
     ) {
         use crate::messages::Msg;
         match (purpose, payload) {
-            (AnonPurpose::LookupQuery { lookup, dummy }, Msg::Table { table, .. }) => {
-                if !dummy {
-                    self.on_lookup_table(ctx, lookup, *table);
-                }
+            (AnonPurpose::LookupQuery { lookup, dummy }, Msg::Table { table, .. }) if !dummy => {
+                self.on_lookup_table(ctx, lookup, *table);
             }
             (AnonPurpose::NeighborCheck { target }, Msg::Table { table, .. }) => {
                 self.conclude_neighbor_check(ctx, target, *table);

@@ -355,7 +355,9 @@ impl WireMsg for Msg {
                 }
             },
             Msg::CaProofRequest { .. } => sizes::REQUEST,
-            Msg::CaProofReply { own_list, proofs, .. } => {
+            Msg::CaProofReply {
+                own_list, proofs, ..
+            } => {
                 signed_list_bytes(table_items(own_list))
                     + proofs
                         .iter()
@@ -428,7 +430,10 @@ mod tests {
         let mk = |n: usize| OnionPacket {
             flow: 1,
             route: (0..n)
-                .map(|i| Hop { node: NodeId(i as u64), delay: i == 1 })
+                .map(|i| Hop {
+                    node: NodeId(i as u64),
+                    delay: i == 1,
+                })
                 .collect(),
             action: ExitAction::QueryTable { target: NodeId(9) },
         };
@@ -457,8 +462,12 @@ mod tests {
 
     #[test]
     fn revocation_scales_with_count() {
-        let r1 = Msg::Revocation { revoked: vec![NodeId(1)] };
-        let r3 = Msg::Revocation { revoked: vec![NodeId(1), NodeId(2), NodeId(3)] };
+        let r1 = Msg::Revocation {
+            revoked: vec![NodeId(1)],
+        };
+        let r3 = Msg::Revocation {
+            revoked: vec![NodeId(1), NodeId(2), NodeId(3)],
+        };
         assert_eq!(r3.wire_bytes() - r1.wire_bytes(), 2 * sizes::ROUTING_ITEM);
     }
 

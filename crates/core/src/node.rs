@@ -24,7 +24,9 @@ use rand::Rng;
 use crate::adversary::{AttackKind, SharedAdversary};
 use crate::config::OctopusConfig;
 use crate::lookup::LookupState;
-use crate::messages::{receipt_bytes, ExitAction, Hop, Msg, OnionPacket, ReceiptToken, Report, Timer};
+use crate::messages::{
+    receipt_bytes, ExitAction, Hop, Msg, OnionPacket, ReceiptToken, Report, Timer,
+};
 use crate::simnet::Control;
 use crate::surveillance::FingerCheck;
 use crate::walk::{DelegatedWalk, WalkState};
@@ -348,7 +350,11 @@ impl OctopusNode {
 
     /// The successor list this node *presents* right now (honest, or
     /// manipulated per the active attack).
-    pub(crate) fn presented_successors(&self, rng: &mut impl Rng, stabilization: bool) -> Vec<NodeId> {
+    pub(crate) fn presented_successors(
+        &self,
+        rng: &mut impl Rng,
+        stabilization: bool,
+    ) -> Vec<NodeId> {
         if let Some(adv) = &self.adversary {
             let adv = adv.borrow();
             let manipulate = match adv.kind() {
@@ -468,7 +474,10 @@ impl OctopusNode {
                 delay: i == 1, // the second relay (B) adds the anti-timing delay
             })
             .collect();
-        debug_assert!(!route.is_empty(), "anonymous query needs at least one relay");
+        debug_assert!(
+            !route.is_empty(),
+            "anonymous query needs at least one relay"
+        );
         let first = route[0].node;
         let packet = OnionPacket {
             flow,
@@ -478,7 +487,10 @@ impl OctopusNode {
         self.anon_pending.insert(flow, (purpose, relays.to_vec()));
         self.awaiting_receipt.insert(flow, first);
         ctx.send(first, Msg::Onion(packet));
-        ctx.set_timer(self.cfg.request_timeout, Timer::RequestTimeout { req: flow });
+        ctx.set_timer(
+            self.cfg.request_timeout,
+            Timer::RequestTimeout { req: flow },
+        );
         ctx.set_timer(Duration::from_millis(800), Timer::ReceiptDeadline { flow });
         flow
     }
@@ -580,8 +592,20 @@ impl OctopusNode {
             return;
         }
         // insert in clockwise order if it belongs in the successor span
-        insert_ordered(self.id, &mut self.successors, joiner, self.cfg.chord.successors, true);
-        insert_ordered(self.id, &mut self.predecessors, joiner, self.cfg.chord.predecessors, false);
+        insert_ordered(
+            self.id,
+            &mut self.successors,
+            joiner,
+            self.cfg.chord.successors,
+            true,
+        );
+        insert_ordered(
+            self.id,
+            &mut self.predecessors,
+            joiner,
+            self.cfg.chord.predecessors,
+            false,
+        );
     }
 
     /// Handle a revocation notice from the CA.
@@ -648,7 +672,13 @@ impl OctopusNode {
 
 /// Insert `joiner` into an ordered neighbor list if it falls within the
 /// list's current span (or the list is undersized).
-fn insert_ordered(own: NodeId, list: &mut Vec<NodeId>, joiner: NodeId, cap: usize, clockwise: bool) {
+fn insert_ordered(
+    own: NodeId,
+    list: &mut Vec<NodeId>,
+    joiner: NodeId,
+    cap: usize,
+    clockwise: bool,
+) {
     if list.contains(&joiner) {
         return;
     }
@@ -709,7 +739,13 @@ impl NodeBehavior for OctopusNode {
                 let now = ctx.now().as_secs_f64() as u64;
                 let succ = self.presented_successors(ctx.rng(), true);
                 let list = self.sign_table(successor_list_table(self.id, succ), now);
-                ctx.send(from, Msg::SuccList { req, list: Box::new(list) });
+                ctx.send(
+                    from,
+                    Msg::SuccList {
+                        req,
+                        list: Box::new(list),
+                    },
+                );
             }
             Msg::GetPredList { req } => {
                 let now = ctx.now().as_secs_f64() as u64;
@@ -720,20 +756,33 @@ impl NodeBehavior for OctopusNode {
                     predecessors: self.presented_predecessors(),
                 };
                 let list = self.sign_table(table, now);
-                ctx.send(from, Msg::PredList { req, list: Box::new(list) });
+                ctx.send(
+                    from,
+                    Msg::PredList {
+                        req,
+                        list: Box::new(list),
+                    },
+                );
             }
             Msg::GetTable { req } => {
                 let table = self.presented_table(ctx);
-                ctx.send(from, Msg::Table { req, table: Box::new(table) });
+                ctx.send(
+                    from,
+                    Msg::Table {
+                        req,
+                        table: Box::new(table),
+                    },
+                );
             }
 
             // ---- replies to our direct requests ----
             Msg::SuccList { req, list } => {
-                if let Some(purpose) = self.direct_pending.remove(&req) {
-                    if let DirectPurpose::StabSucc { peer } = purpose {
-                        if list.verify(self.ca_key, ctx.now().as_secs_f64() as u64).is_ok() {
-                            self.on_succ_list(peer, *list);
-                        }
+                if let Some(DirectPurpose::StabSucc { peer }) = self.direct_pending.remove(&req) {
+                    if list
+                        .verify(self.ca_key, ctx.now().as_secs_f64() as u64)
+                        .is_ok()
+                    {
+                        self.on_succ_list(peer, *list);
                     }
                 }
             }
@@ -742,10 +791,12 @@ impl NodeBehavior for OctopusNode {
                     return;
                 };
                 match purpose {
-                    DirectPurpose::StabPred { peer } => {
-                        if list.verify(self.ca_key, ctx.now().as_secs_f64() as u64).is_ok() {
-                            self.on_pred_list(peer, &list);
-                        }
+                    DirectPurpose::StabPred { peer }
+                        if list
+                            .verify(self.ca_key, ctx.now().as_secs_f64() as u64)
+                            .is_ok() =>
+                    {
+                        self.on_pred_list(peer, &list);
                     }
                     DirectPurpose::FingerPredList { check } => {
                         self.on_finger_pred_list(ctx, check, *list);
@@ -760,7 +811,13 @@ impl NodeBehavior for OctopusNode {
                     // we are an exit relay: carry the reply back
                     if let Some(rf) = self.relay_flows.get(&flow) {
                         let payload = Msg::Table { req: flow, table };
-                        ctx.send(rf.prev, Msg::OnionReply { flow, payload: Box::new(payload) });
+                        ctx.send(
+                            rf.prev,
+                            Msg::OnionReply {
+                                flow,
+                                payload: Box::new(payload),
+                            },
+                        );
                     }
                 }
             }
@@ -807,7 +864,13 @@ impl NodeBehavior for OctopusNode {
             }
             Msg::CaProvRequest { case, slot } => {
                 let prov = self.provenance_for(ctx, slot);
-                ctx.send(from, Msg::CaProvReply { case, prov: prov.map(Box::new) });
+                ctx.send(
+                    from,
+                    Msg::CaProvReply {
+                        case,
+                        prov: prov.map(Box::new),
+                    },
+                );
             }
             Msg::Revocation { revoked } => self.on_revocation(&revoked),
 
@@ -880,7 +943,11 @@ impl OctopusNode {
                     self.exit_flows.insert(req, packet.flow);
                     ctx.send(target, Msg::GetTable { req });
                 }
-                ExitAction::Delegate { seed, length, fingers } => {
+                ExitAction::Delegate {
+                    seed,
+                    length,
+                    fingers,
+                } => {
                     self.on_walk_delegate(ctx, packet.flow, seed, length, fingers);
                 }
             }
@@ -911,7 +978,13 @@ impl OctopusNode {
         if let Some(rf) = self.relay_flows.remove(&flow) {
             // the flow completed; its receipt is no longer evidence
             self.receipts.remove(&flow);
-            ctx.send(rf.prev, Msg::OnionReply { flow, payload: Box::new(payload) });
+            ctx.send(
+                rf.prev,
+                Msg::OnionReply {
+                    flow,
+                    payload: Box::new(payload),
+                },
+            );
         }
     }
 
@@ -1029,10 +1102,8 @@ mod tests {
         let other = test_node(200);
         let cap = n.cfg.proof_queue as u64;
         for i in 0..cap + 4 {
-            let list = other.sign_table(
-                successor_list_table(NodeId(200), vec![NodeId(300 + i)]),
-                i,
-            );
+            let list =
+                other.sign_table(successor_list_table(NodeId(200), vec![NodeId(300 + i)]), i);
             n.on_succ_list(NodeId(200), list);
         }
         assert_eq!(n.proof_queue.len(), n.cfg.proof_queue);

@@ -378,15 +378,8 @@ impl SecuritySim {
         for &id in space.ids() {
             let (kp, cert) = keys.get(&id).expect("key exists");
             let adv = malicious.contains(&id).then(|| adversary.clone());
-            let mut node = OctopusNode::new(
-                id,
-                cfg.octopus,
-                kp.clone(),
-                *cert,
-                CA_ADDR,
-                ca_key,
-                adv,
-            );
+            let mut node =
+                OctopusNode::new(id, cfg.octopus, kp.clone(), *cert, CA_ADDR, ca_key, adv);
             seed_from_truth(&mut node, &space, chord, &mut rng);
             seed_provenance(&mut node, &space, chord, &keys, 0);
             world.insert_node(id, Actor::Peer(Box::new(node)));
@@ -514,7 +507,12 @@ impl SecuritySim {
                 let idx = ((t / bin) as usize).min(ca_bins.len() - 1);
                 ca_bins[idx] += 1.0;
             }
-            Control::LookupDone { key, result, elapsed, .. } => {
+            Control::LookupDone {
+                key,
+                result,
+                elapsed,
+                ..
+            } => {
                 if !self.cfg.lookups_enabled {
                     return;
                 }
@@ -537,7 +535,9 @@ impl SecuritySim {
                     report.walks_failed += 1;
                 }
             }
-            Control::NeighborTest { target, violation, .. } => {
+            Control::NeighborTest {
+                target, violation, ..
+            } => {
                 if self.initial_malicious.contains(&target) {
                     report.tests_of_bad += 1;
                     report.neighbor_tests_of_bad += 1;
@@ -547,7 +547,12 @@ impl SecuritySim {
                     }
                 }
             }
-            Control::FingerTest { finger, ideal, violation, .. } => {
+            Control::FingerTest {
+                finger,
+                ideal,
+                violation,
+                ..
+            } => {
                 // a finger is provably bad when ground truth has a
                 // closer live owner for its ideal id
                 let truth = self.space.owner_of(ideal).owner;
@@ -563,8 +568,10 @@ impl SecuritySim {
                 }
             }
             Control::Verdict { verdict, category } => {
-                let slot = if let Some(slot) =
-                    report.verdicts_by_cat.iter_mut().find(|(c, _, _)| *c == category)
+                let slot = if let Some(slot) = report
+                    .verdicts_by_cat
+                    .iter_mut()
+                    .find(|(c, _, _)| *c == category)
                 {
                     slot
                 } else {
@@ -576,20 +583,20 @@ impl SecuritySim {
                     Verdict::Dismissed => slot.1 += 1,
                 }
                 match verdict {
-                Verdict::Revoked(id) => {
-                    if self.debug {
-                        let mal = self.initial_malicious.contains(&id);
-                        println!("[{t:.1}s] REVOKED {id} malicious={mal} cat={category:?}");
+                    Verdict::Revoked(id) => {
+                        if self.debug {
+                            let mal = self.initial_malicious.contains(&id);
+                            println!("[{t:.1}s] REVOKED {id} malicious={mal} cat={category:?}");
+                        }
+                        report.revocations += 1;
+                        report.convicted += 1;
+                        if !self.initial_malicious.contains(&id) {
+                            report.false_positives += 1;
+                        }
+                        self.apply_revocation(id);
                     }
-                    report.revocations += 1;
-                    report.convicted += 1;
-                    if !self.initial_malicious.contains(&id) {
-                        report.false_positives += 1;
-                    }
-                    self.apply_revocation(id);
+                    Verdict::Dismissed => report.dismissed += 1,
                 }
-                Verdict::Dismissed => report.dismissed += 1,
-            }
             }
             Control::ChurnKill(id) => self.churn_kill(id, now),
             Control::ChurnJoin(id) => self.churn_join(id, now),
@@ -651,7 +658,9 @@ impl SecuritySim {
         );
         if malicious {
             let (kp, cert) = self.keys.get(&id).expect("keys exist");
-            self.adversary.borrow_mut().share_keys(id, kp.clone(), *cert);
+            self.adversary
+                .borrow_mut()
+                .share_keys(id, kp.clone(), *cert);
         }
         self.world.insert_node(id, Actor::Peer(Box::new(node)));
         self.with_ca(|ca| ca.note_join(id, now.as_secs_f64() as u64));
@@ -739,8 +748,7 @@ fn seed_provenance(
             continue;
         };
         let list = space.successor_list(signer, chord.successors);
-        let signed =
-            SignedRoutingTable::sign(successor_list_table(signer, list), now, kp, *cert);
+        let signed = SignedRoutingTable::sign(successor_list_table(signer, list), now, kp, *cert);
         node.set_finger_provenance(i, signed);
     }
 }

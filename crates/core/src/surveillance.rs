@@ -219,15 +219,9 @@ impl OctopusNode {
         }
         // the violation: some successor of P′₁ is closer to the ideal
         // finger id than F′ — the "true finger" Y's table skipped (§4.4)
-        let closer = p1_table
-            .table
-            .successors
-            .iter()
-            .copied()
-            .find(|&z| {
-                z != fc.fprime
-                    && fc.ideal.distance_to_node(z) < fc.ideal.distance_to_node(fc.fprime)
-            });
+        let closer = p1_table.table.successors.iter().copied().find(|&z| {
+            z != fc.fprime && fc.ideal.distance_to_node(z) < fc.ideal.distance_to_node(fc.fprime)
+        });
         let violation = closer.is_some();
         ctx.emit(Control::FingerTest {
             tester: self.id,

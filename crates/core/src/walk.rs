@@ -236,7 +236,13 @@ impl OctopusNode {
             };
             if let Some(rf) = self.relay_flows.get(&flow) {
                 let prev = rf.prev;
-                ctx.send(prev, Msg::OnionReply { flow, payload: Box::new(reply) });
+                ctx.send(
+                    prev,
+                    Msg::OnionReply {
+                        flow,
+                        payload: Box::new(reply),
+                    },
+                );
             }
             return;
         }
@@ -305,7 +311,10 @@ impl OctopusNode {
             true
         };
         if !ok && std::env::var("OCTO_DEBUG").is_ok() {
-            eprintln!("[dbg] walk {walk:x} result verification failed (tables={})", tables.len());
+            eprintln!(
+                "[dbg] walk {walk:x} result verification failed (tables={})",
+                tables.len()
+            );
         }
         if ok {
             for t in &tables {

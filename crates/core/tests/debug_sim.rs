@@ -1,10 +1,12 @@
 //! Diagnostic harness (run with --nocapture) — not a correctness test.
+//!
+//!     cargo test -p octopus-core --test debug_sim -- --ignored --nocapture
 
 use octopus_core::{AttackKind, SecuritySim, SimConfig};
 use octopus_sim::Duration;
 
 #[test]
-#[ignore]
+#[ignore = "diagnostic dump, not a correctness test; run with -- --ignored --nocapture"]
 fn diagnose_passive() {
     let cfg = SimConfig {
         n: 150,

@@ -54,7 +54,10 @@ fn lookup_bias_attackers_identified() {
         "most attackers must be identified (remaining = {})",
         report.final_malicious_fraction()
     );
-    assert!(report.biased_lookups > 0, "attack must bias some lookups before eviction");
+    assert!(
+        report.biased_lookups > 0,
+        "attack must bias some lookups before eviction"
+    );
     // the curve must be monotonically non-increasing after its peak
     let fracs: Vec<f64> = report.malicious_fraction.iter().map(|&(_, f)| f).collect();
     assert!(fracs.first().copied().unwrap_or(0.0) >= fracs.last().copied().unwrap_or(1.0));
@@ -131,4 +134,52 @@ fn deterministic_given_seed() {
     assert_eq!(r1.completed_lookups, r2.completed_lookups);
     assert_eq!(r1.biased_lookups, r2.biased_lookups);
     assert_eq!(r1.malicious_fraction, r2.malicious_fraction);
+}
+
+// ---- long-duration cases ----
+//
+// The cases below replay the paper's full horizons and take minutes in
+// debug builds, so they are `#[ignore]`d to keep `cargo test -q` fast
+// and deterministic. Run them explicitly with:
+//
+//     cargo test --release -p octopus-core --test security_sim -- --ignored
+
+/// The complete §5.2 drain: over the paper's full horizon the curve
+/// must reach its floor — clearly below the 4-minute mini-run bound
+/// (0.12) — and *hold* it. (At N = 150 this reproduction plateaus at a
+/// handful of never-exercised attackers rather than the paper's ~0; the
+/// bound documents that floor.)
+#[test]
+#[ignore = "full 1000 s horizon; run with -- --ignored (see module comment)"]
+fn full_horizon_bias_attack_drains_to_floor() {
+    let mut cfg = base(AttackKind::LookupBias, 11);
+    cfg.duration = Duration::from_secs(1000);
+    let mut sim = SecuritySim::new(cfg);
+    let report = sim.run();
+    assert_eq!(report.false_positives, 0);
+    assert!(
+        report.final_malicious_fraction() <= 0.08,
+        "after the full horizon the drain must be at its floor ({})",
+        report.final_malicious_fraction()
+    );
+    // once down, the curve never rebounds (revocation is permanent)
+    let fracs: Vec<f64> = report.malicious_fraction.iter().map(|&(_, f)| f).collect();
+    let min = fracs.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(
+        (fracs.last().copied().unwrap_or(1.0) - min).abs() < 1e-9,
+        "the final fraction must equal the curve minimum"
+    );
+}
+
+/// Long-horizon churn soak: Table 2's FP = 0 must hold over the paper's
+/// full duration, not just the 4-minute mini-run.
+#[test]
+#[ignore = "full 1000 s horizon; run with -- --ignored (see module comment)"]
+fn full_horizon_churn_stays_false_positive_free() {
+    let mut cfg = base(AttackKind::LookupBias, 12);
+    cfg.duration = Duration::from_secs(1000);
+    cfg.mean_lifetime = Some(Duration::from_secs(600));
+    let mut sim = SecuritySim::new(cfg);
+    let report = sim.run();
+    assert_eq!(report.false_positives, 0);
 }

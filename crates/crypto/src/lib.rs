@@ -2,8 +2,9 @@
 //!
 //! The paper (§4, footnote 4) assumes three primitives:
 //!
-//! 1. **Signatures with certificates** — every routing table (fingertable
-//!    + successor list) is signed and timestamped by its owner so that
+//! 1. **Signatures with certificates** — every routing table
+//!    (fingertable plus successor list) is signed and timestamped by its
+//!    owner so that
 //!    manipulated tables become non-repudiation proofs the CA can verify
 //!    (§4.3–4.5). The paper uses ECDSA + X.509; we implement RSA with a
 //!    64-bit modulus ([`rsa`]): *real* sign/verify semantics (hash,

@@ -103,7 +103,11 @@ impl MerkleTree {
         for level in &self.levels[..self.levels.len() - 1] {
             let sibling = if i % 2 == 0 {
                 // sibling on the right (or self-pair at odd tail)
-                let s = if i + 1 < level.len() { level[i + 1] } else { level[i] };
+                let s = if i + 1 < level.len() {
+                    level[i + 1]
+                } else {
+                    level[i]
+                };
                 (s, true)
             } else {
                 (level[i - 1], false)

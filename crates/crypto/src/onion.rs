@@ -62,7 +62,9 @@ pub fn wrap(payload: &[u8], keys: &[[u8; 32]], next_hops: &[u64], nonce_seed: u6
     let mut inner = payload.to_vec();
     // innermost layer corresponds to the last relay → iterate reversed
     for (i, (key, hop)) in keys.iter().zip(next_hops.iter()).enumerate().rev() {
-        let nonce = nonce_seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let nonce = nonce_seed
+            .wrapping_add(i as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut plain = Vec::with_capacity(HOP_LEN + inner.len());
         plain.extend_from_slice(&hop.to_be_bytes());
         plain.extend_from_slice(&inner);
@@ -173,10 +175,7 @@ mod tests {
         let onion = wrap(b"SECRETKEY", &ks, &[2, 0], 7);
         let l1 = unwrap(&onion, &ks[0]).unwrap();
         // relay 1 sees only ciphertext for relay 2
-        assert!(!l1
-            .inner
-            .windows(9)
-            .any(|w| w == b"SECRETKEY"));
+        assert!(!l1.inner.windows(9).any(|w| w == b"SECRETKEY"));
     }
 
     #[test]

@@ -144,14 +144,12 @@ fn modinv(a: u64, m: u64) -> Option<u64> {
 }
 
 fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> u64 {
-    loop {
-        let mut p: u64 = rng.gen_range(0..1u64 << (bits - 1)) | (1 << (bits - 1)) | 1;
-        // ensure p-1 not divisible by 65537 so e is invertible
-        while !is_prime(p) || (p - 1) % 65537 == 0 {
-            p = rng.gen_range(0..1u64 << (bits - 1)) | (1 << (bits - 1)) | 1;
-        }
-        return p;
+    let mut p: u64 = rng.gen_range(0..1u64 << (bits - 1)) | (1 << (bits - 1)) | 1;
+    // ensure p-1 not divisible by 65537 so e is invertible
+    while !is_prime(p) || (p - 1) % 65537 == 0 {
+        p = rng.gen_range(0..1u64 << (bits - 1)) | (1 << (bits - 1)) | 1;
     }
+    p
 }
 
 impl KeyPair {

@@ -40,17 +40,15 @@ impl StreamCipher {
 
     /// XOR the keystream into `data` in place (encrypts or decrypts).
     pub fn apply(&self, data: &mut [u8]) {
-        let mut counter = 0u64;
-        for chunk in data.chunks_mut(32) {
+        for (counter, chunk) in data.chunks_mut(32).enumerate() {
             let block = Sha256::new()
                 .chain(&self.key)
                 .chain(&self.nonce.to_be_bytes())
-                .chain(&counter.to_be_bytes())
+                .chain(&(counter as u64).to_be_bytes())
                 .finalize();
             for (b, k) in chunk.iter_mut().zip(block.0.iter()) {
                 *b ^= k;
             }
-            counter += 1;
         }
     }
 

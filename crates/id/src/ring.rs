@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Number of bits in the identifier space (`m` in the Chord paper).
 pub const RING_BITS: u32 = 64;
 
@@ -16,11 +14,11 @@ pub const RING_BITS: u32 = 64;
 /// [`NodeId::is_between`]/[`RingInterval`] rather than `Ord` for routing
 /// decisions. (`Ord` is still derived so ids can live in sorted
 /// containers.)
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u64);
 
 /// A lookup key hashed into the ring space.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(pub u64);
 
 impl NodeId {

@@ -55,11 +55,7 @@ impl IdSpace {
     #[must_use]
     pub fn evenly_spaced(n: usize) -> Self {
         assert!(n > 0, "need at least one node");
-        let step = if n as u128 == 0 {
-            0
-        } else {
-            (u64::MAX as u128 + 1) / n as u128
-        };
+        let step = (u64::MAX as u128 + 1) / n as u128;
         let ids = (0..n).map(|i| NodeId((i as u128 * step) as u64)).collect();
         IdSpace::new(ids)
     }

@@ -100,7 +100,10 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         // all rows equal width
-        assert_eq!(lines[0].len(), lines[2].trim_end().len().max(lines[0].len()));
+        assert_eq!(
+            lines[0].len(),
+            lines[2].trim_end().len().max(lines[0].len())
+        );
     }
 
     #[test]

@@ -98,7 +98,12 @@ impl KingLikeLatency {
         let u = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform (0,1)
         let u = u.clamp(1e-9, 1.0 - 1e-9);
         // mean ≈ 0.35 + 0.20 + 0.10·5 = 1.05
-        0.35 + 0.20 * (-(1.0 - u).ln()) + if u > 0.90 { 10.0 * (u - 0.90) / 0.10 } else { 0.0 }
+        0.35 + 0.20 * (-(1.0 - u).ln())
+            + if u > 0.90 {
+                10.0 * (u - 0.90) / 0.10
+            } else {
+                0.0
+            }
     }
 
     /// Jitter bound for a given base latency: min(10 ms, 10 % of base).
@@ -179,7 +184,10 @@ mod tests {
         }
         let min = lats.iter().cloned().fold(f64::MAX, f64::min);
         let max = lats.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(max / min > 4.0, "King data is highly heterogeneous (got {min}..{max})");
+        assert!(
+            max / min > 4.0,
+            "King data is highly heterogeneous (got {min}..{max})"
+        );
     }
 
     #[test]
@@ -210,7 +218,10 @@ mod tests {
     fn constant_model() {
         let m = ConstantLatency(Duration::from_millis(50));
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(m.sample(NodeId(1), NodeId(2), &mut rng), Duration::from_millis(50));
+        assert_eq!(
+            m.sample(NodeId(1), NodeId(2), &mut rng),
+            Duration::from_millis(50)
+        );
         assert_eq!(m.base(NodeId(1), NodeId(2)), Duration::from_millis(50));
     }
 
@@ -218,6 +229,9 @@ mod tests {
     fn deterministic_across_instances() {
         let m1 = KingLikeLatency::new(7);
         let m2 = KingLikeLatency::new(7);
-        assert_eq!(m1.base(NodeId(10), NodeId(20)), m2.base(NodeId(10), NodeId(20)));
+        assert_eq!(
+            m1.base(NodeId(10), NodeId(20)),
+            m2.base(NodeId(10), NodeId(20))
+        );
     }
 }

@@ -25,5 +25,5 @@ pub mod wire;
 pub mod world;
 
 pub use latency::{ConstantLatency, KingLikeLatency, LatencyModel};
-pub use wire::{BandwidthLedger, WireMsg, sizes};
+pub use wire::{sizes, BandwidthLedger, WireMsg};
 pub use world::{Addr, Ctx, NodeBehavior, StepOutcome, World};

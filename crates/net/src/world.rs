@@ -30,10 +30,19 @@ pub trait NodeBehavior {
     type Control;
 
     /// Handle a delivered message.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer, Self::Control>, from: Addr, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer, Self::Control>,
+        from: Addr,
+        msg: Self::Msg,
+    );
 
     /// Handle an expired timer.
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer, Self::Control>, timer: Self::Timer);
+    fn on_timer(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer, Self::Control>,
+        timer: Self::Timer,
+    );
 
     /// Called once when the node is inserted into the world (schedule
     /// initial timers here).
@@ -204,7 +213,12 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
             controls: Vec::new(),
         };
         node.on_start(&mut ctx);
-        let Ctx { outbox, timers, controls, .. } = ctx;
+        let Ctx {
+            outbox,
+            timers,
+            controls,
+            ..
+        } = ctx;
         self.nodes.insert(addr, node);
         self.rngs.insert(addr, rng);
         self.flush(addr, outbox, timers);
@@ -251,7 +265,12 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
             controls: Vec::new(),
         };
         f(&mut node, &mut ctx);
-        let Ctx { outbox, timers, controls, .. } = ctx;
+        let Ctx {
+            outbox,
+            timers,
+            controls,
+            ..
+        } = ctx;
         self.nodes.insert(addr, node);
         self.rngs.insert(addr, rng);
         self.flush(addr, outbox, timers);
@@ -269,7 +288,12 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         self.queue.push(at, Event::Deliver { from, to, msg });
     }
 
-    fn flush(&mut self, from: Addr, outbox: Vec<(Addr, B::Msg, Duration)>, timers: Vec<(Duration, B::Timer)>) {
+    fn flush(
+        &mut self,
+        from: Addr,
+        outbox: Vec<(Addr, B::Msg, Duration)>,
+        timers: Vec<(Duration, B::Timer)>,
+    ) {
         for (to, msg, extra) in outbox {
             self.route(from, to, msg, extra);
         }
@@ -303,7 +327,12 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
                         controls: Vec::new(),
                     };
                     node.on_message(&mut ctx, from, msg);
-                    let Ctx { outbox, timers, controls, .. } = ctx;
+                    let Ctx {
+                        outbox,
+                        timers,
+                        controls,
+                        ..
+                    } = ctx;
                     self.nodes.insert(to, node);
                     self.rngs.insert(to, rng);
                     self.flush(to, outbox, timers);
@@ -326,7 +355,12 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
                         controls: Vec::new(),
                     };
                     node.on_timer(&mut ctx, timer);
-                    let Ctx { outbox, timers, controls, .. } = ctx;
+                    let Ctx {
+                        outbox,
+                        timers,
+                        controls,
+                        ..
+                    } = ctx;
                     self.nodes.insert(addr, node);
                     self.rngs.insert(addr, rng);
                     self.flush(addr, outbox, timers);
@@ -343,11 +377,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     /// emitted control events tagged with their emission time.
     pub fn run_until(&mut self, deadline: SimTime) -> Vec<(SimTime, B::Control)> {
         let mut out = Vec::new();
-        while self
-            .queue
-            .next_time()
-            .is_some_and(|t| t <= deadline)
-        {
+        while self.queue.next_time().is_some_and(|t| t <= deadline) {
             match self.step() {
                 StepOutcome::Idle => break,
                 StepOutcome::Control(c) => out.push((self.now(), c)),
@@ -408,8 +438,20 @@ mod tests {
     #[test]
     fn ping_pong_roundtrip() {
         let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(10)), 1);
-        w.insert_node(NodeId(2), PingPong { pongs: 0, peer: None });
-        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: Some(NodeId(2)) });
+        w.insert_node(
+            NodeId(2),
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
+        w.insert_node(
+            NodeId(1),
+            PingPong {
+                pongs: 0,
+                peer: Some(NodeId(2)),
+            },
+        );
         let ctrl = w.run_until(SimTime::from_secs(1));
         assert_eq!(ctrl.len(), 1);
         assert_eq!(ctrl[0].1, 1);
@@ -421,7 +463,13 @@ mod tests {
     #[test]
     fn message_to_dead_node_dropped() {
         let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(10)), 1);
-        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: Some(NodeId(2)) });
+        w.insert_node(
+            NodeId(1),
+            PingPong {
+                pongs: 0,
+                peer: Some(NodeId(2)),
+            },
+        );
         let ctrl = w.run_until(SimTime::from_secs(1));
         assert!(ctrl.is_empty());
         assert_eq!(w.dropped_to_dead(), 1);
@@ -430,8 +478,20 @@ mod tests {
     #[test]
     fn bandwidth_accounted() {
         let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(10)), 1);
-        w.insert_node(NodeId(2), PingPong { pongs: 0, peer: None });
-        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: Some(NodeId(2)) });
+        w.insert_node(
+            NodeId(2),
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
+        w.insert_node(
+            NodeId(1),
+            PingPong {
+                pongs: 0,
+                peer: Some(NodeId(2)),
+            },
+        );
         w.run_until(SimTime::from_secs(1));
         // two 8-byte messages + 28B UDP headers each
         assert_eq!(w.ledger().total_bytes(), 2 * (8 + 28));
@@ -440,7 +500,13 @@ mod tests {
     #[test]
     fn control_events_scheduled_by_driver() {
         let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(10)), 1);
-        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: None });
+        w.insert_node(
+            NodeId(1),
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
         w.schedule_control(SimTime::from_secs(5), 42);
         let ctrl = w.run_until(SimTime::from_secs(10));
         assert_eq!(ctrl, vec![(SimTime::from_secs(5), 42)]);
@@ -449,8 +515,20 @@ mod tests {
     #[test]
     fn with_node_drives_protocol() {
         let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(5)), 1);
-        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: None });
-        w.insert_node(NodeId(2), PingPong { pongs: 0, peer: None });
+        w.insert_node(
+            NodeId(1),
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
+        w.insert_node(
+            NodeId(2),
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
         assert!(w.with_node(NodeId(1), |_n, ctx| ctx.send(NodeId(2), Pm::Ping)));
         assert!(!w.with_node(NodeId(9), |_n, _ctx| {}));
         let ctrl = w.run_until(SimTime::from_secs(1));
@@ -460,8 +538,16 @@ mod tests {
     #[test]
     fn remove_node_kills_timers_silently() {
         let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(5)), 1);
-        w.insert_node(NodeId(1), PingPong { pongs: 0, peer: None });
-        w.with_node(NodeId(1), |_n, ctx| ctx.set_timer(Duration::from_secs(1), ()));
+        w.insert_node(
+            NodeId(1),
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
+        w.with_node(NodeId(1), |_n, ctx| {
+            ctx.set_timer(Duration::from_secs(1), ())
+        });
         w.remove_node(NodeId(1));
         let ctrl = w.run_until(SimTime::from_secs(5));
         assert!(ctrl.is_empty());

@@ -12,7 +12,11 @@ use octopus::anonymity::{
 fn main() {
     let n = 20_000;
     println!("pre-simulating lookups on an N = {n} ring…");
-    let presim = LookupPresim::run(PresimConfig { n, samples: 800, seed: 7 });
+    let presim = LookupPresim::run(PresimConfig {
+        n,
+        samples: 800,
+        seed: 7,
+    });
     let cfg = AnonymityConfig {
         n,
         f: 0.2,
@@ -29,9 +33,31 @@ fn main() {
     let tor = torsk_entropies(&cfg, &presim);
     let cho = chord_entropies(&cfg, &presim);
     println!("scheme    H(I)      leak    H(T)      leak");
-    println!("Octopus   {h_i:6.2}  {:6.2}  {h_t:6.2}  {:6.2}", ideal - h_i, ideal - h_t);
-    println!("NISAN     {:6.2}  {:6.2}  {:6.2}  {:6.2}", nis.h_i, ideal - nis.h_i, nis.h_t, ideal - nis.h_t);
-    println!("Torsk     {:6.2}  {:6.2}  {:6.2}  {:6.2}", tor.h_i, ideal - tor.h_i, tor.h_t, ideal - tor.h_t);
-    println!("Chord     {:6.2}  {:6.2}  {:6.2}  {:6.2}", cho.h_i, ideal - cho.h_i, cho.h_t, ideal - cho.h_t);
+    println!(
+        "Octopus   {h_i:6.2}  {:6.2}  {h_t:6.2}  {:6.2}",
+        ideal - h_i,
+        ideal - h_t
+    );
+    println!(
+        "NISAN     {:6.2}  {:6.2}  {:6.2}  {:6.2}",
+        nis.h_i,
+        ideal - nis.h_i,
+        nis.h_t,
+        ideal - nis.h_t
+    );
+    println!(
+        "Torsk     {:6.2}  {:6.2}  {:6.2}  {:6.2}",
+        tor.h_i,
+        ideal - tor.h_i,
+        tor.h_t,
+        ideal - tor.h_t
+    );
+    println!(
+        "Chord     {:6.2}  {:6.2}  {:6.2}  {:6.2}",
+        cho.h_i,
+        ideal - cho.h_i,
+        cho.h_t,
+        ideal - cho.h_t
+    );
     println!("\n(the paper's headline: Octopus leaks 4-6x less than NISAN/Torsk)");
 }

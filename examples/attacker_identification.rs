@@ -26,7 +26,10 @@ fn main() {
         let bar = "#".repeat((f * 200.0) as usize);
         println!("{t:6.0}   {f:.3} {bar}");
     }
-    println!("\nrevocations: {}  (honest nodes revoked: {})", report.revocations, report.false_positives);
+    println!(
+        "\nrevocations: {}  (honest nodes revoked: {})",
+        report.revocations, report.false_positives
+    );
     println!(
         "lookups biased before eviction: {} of {}",
         report.biased_lookups, report.completed_lookups

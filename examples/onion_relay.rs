@@ -5,12 +5,12 @@
 //!
 //!     cargo run --release --example onion_relay
 
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use octopus::crypto::onion;
-use parking_lot::Mutex;
 use rand::Rng;
 
 struct Relay {
@@ -24,7 +24,7 @@ struct Relay {
 }
 
 impl Relay {
-    fn run(self, log: std::sync::Arc<Mutex<Vec<String>>>) {
+    fn run(self, log: Arc<Mutex<Vec<String>>>) {
         // each relay handles exactly one packet in this demo
         if let Ok(packet) = self.inbox.recv() {
             let layer = onion::unwrap(&packet, &self.key).expect("valid layer");
@@ -34,14 +34,16 @@ impl Relay {
                 thread::sleep(Duration::from_millis(ms));
             }
             if layer.next_hop == 0 {
-                log.lock().push(format!(
+                log.lock().unwrap().push(format!(
                     "{}: exit — decrypted query: {:?}",
                     self.name,
                     String::from_utf8_lossy(&layer.inner)
                 ));
                 return;
             }
-            log.lock().push(format!("{}: forwarding to {}", self.name, layer.next_hop));
+            log.lock()
+                .unwrap()
+                .push(format!("{}: forwarding to {}", self.name, layer.next_hop));
             let next = self
                 .network
                 .iter()
@@ -55,27 +57,31 @@ impl Relay {
 fn main() {
     let keys: Vec<[u8; 32]> = (0..3).map(|i| [i as u8 + 1; 32]).collect();
     let addrs = [101u64, 102, 103];
-    let channels: Vec<(Sender<Vec<u8>>, Receiver<Vec<u8>>)> = (0..3).map(|_| unbounded()).collect();
+    type Packet = Vec<u8>;
+    let (senders, receivers): (Vec<Sender<Packet>>, Vec<Receiver<Packet>>) =
+        (0..3).map(|_| channel()).unzip();
     let network: Vec<(u64, Sender<Vec<u8>>)> = addrs
         .iter()
-        .zip(channels.iter())
-        .map(|(&a, (tx, _))| (a, tx.clone()))
+        .zip(senders.iter())
+        .map(|(&a, tx)| (a, tx.clone()))
         .collect();
-    let log = std::sync::Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
 
     let mut handles = Vec::new();
-    for (i, (_, rx)) in channels.iter().enumerate() {
+    for (i, rx) in receivers.into_iter().enumerate() {
         let relay = Relay {
             name: ["relay A", "relay B", "relay D (exit)"][i],
             key: keys[i],
             addr: addrs[i],
-            inbox: rx.clone(),
+            inbox: rx,
             network: network.clone(),
             add_delay: i == 1,
         };
         let log = log.clone();
         handles.push(thread::spawn(move || relay.run(log)));
     }
+    // drop the initiator's copies so exit relays see disconnected inboxes
+    drop(senders);
 
     // the initiator wraps the query for A → B → D
     let onion_packet = onion::wrap(
@@ -84,13 +90,17 @@ fn main() {
         &[102, 103, 0],
         rand::thread_rng().gen(),
     );
-    println!("initiator: sending {}-byte onion to relay A", onion_packet.len());
+    println!(
+        "initiator: sending {}-byte onion to relay A",
+        onion_packet.len()
+    );
     network[0].1.send(onion_packet).expect("send");
+    drop(network);
 
     for h in handles {
         let _ = h.join();
     }
-    for line in log.lock().iter() {
+    for line in log.lock().unwrap().iter() {
         println!("{line}");
     }
     println!("no relay saw both the initiator and the query — that's the point.");

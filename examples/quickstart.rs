@@ -22,7 +22,10 @@ fn main() {
     };
     let report = SecuritySim::new(cfg).run();
     println!("ran 180 simulated seconds:");
-    println!("  anonymous lookups completed: {}", report.completed_lookups);
+    println!(
+        "  anonymous lookups completed: {}",
+        report.completed_lookups
+    );
     println!("  wrong results:               {}", report.biased_lookups);
     println!("  relay-selection walks ok:    {}", report.walks_ok);
     println!("  revocations (should be 0):   {}", report.revocations);

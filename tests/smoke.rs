@@ -1,0 +1,61 @@
+//! Workspace smoke test: every sub-crate must stay reachable through the
+//! facade re-exports, and one cheap call per crate must work. (The
+//! companion check that `cargo run --example quickstart` exits 0 lives in
+//! CI — see `.github/workflows/ci.yml` — since spawning cargo from a test
+//! is slow and non-hermetic.)
+
+use octopus::sim::Duration;
+
+#[test]
+fn facade_reexports_all_nine_subcrates() {
+    // id
+    let a = octopus::id::NodeId(10);
+    assert_eq!(a.distance_to(octopus::id::NodeId(20)), 10);
+
+    // crypto
+    let mac = octopus::crypto::hmac_sha256(b"key", b"msg");
+    assert_eq!(mac.0.len(), 32);
+
+    // sim
+    assert_eq!(Duration::from_secs(2).as_millis_f64(), 2000.0);
+
+    // net
+    let ledger = octopus::net::BandwidthLedger::default();
+    assert_eq!(ledger.total_bytes(), 0);
+
+    // chord
+    let chord_cfg = octopus::chord::ChordConfig::for_network(1000);
+    assert!(chord_cfg.fingers > 0);
+
+    // core
+    let oct_cfg = octopus::core::OctopusConfig::for_network(100);
+    assert!(oct_cfg.chord.successors > 0);
+
+    // baselines
+    assert_eq!(
+        octopus::baselines::HALO_REDUNDANCY * octopus::baselines::HALO_DEGREE,
+        32
+    );
+
+    // anonymity
+    let anon = octopus::anonymity::AnonymityConfig::default();
+    assert!(anon.n > 0);
+
+    // metrics
+    let h = octopus::metrics::entropy_bits(&[0.5, 0.5]);
+    assert!((h - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn facade_security_sim_runs_end_to_end() {
+    // the quick-start path of src/lib.rs, kept tiny: a short passive sim
+    let cfg = octopus::core::SimConfig {
+        n: 60,
+        duration: Duration::from_secs(30),
+        octopus: octopus::core::OctopusConfig::for_network(60),
+        attack: octopus::core::AttackKind::Passive,
+        ..octopus::core::SimConfig::default()
+    };
+    let report = octopus::core::SecuritySim::new(cfg).run();
+    assert_eq!(report.false_positives, 0);
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the slice of the criterion 0.5 API the `octopus-bench` benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `throughput` / `sample_size` / `finish`), [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Timing is a simple warm-up + median-of-samples wall-clock
+//! measurement printed as `ns/iter` — adequate for spotting order-of-
+//! magnitude regressions, not for microsecond-precision statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (reported, not analysed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the closure of `bench_function`; drives the measurement.
+pub struct Bencher {
+    samples: u64,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            measured: Vec::new(),
+        }
+    }
+
+    /// Measure `f`, called repeatedly: a warm-up pass sizes the batch so
+    /// each sample runs ≥ ~1 ms, then `samples` batches are timed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up and batch sizing
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.measured
+                .push(Duration::from_nanos(t0.elapsed().as_nanos() as u64 / batch));
+        }
+    }
+
+    fn median_ns(&mut self) -> u64 {
+        if self.measured.is_empty() {
+            return 0;
+        }
+        self.measured.sort_unstable();
+        self.measured[self.measured.len() / 2].as_nanos() as u64
+    }
+}
+
+/// The benchmark driver; one per `criterion_group!`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark and print its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, b.median_ns(), None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group's per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1) as u64);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        report(
+            &format!("{}/{name}", self.name),
+            b.median_ns(),
+            self.throughput,
+        );
+        self
+    }
+
+    /// Close the group (printing is immediate; this is a no-op marker).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, median_ns: u64, throughput: Option<Throughput>) {
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if median_ns > 0 => {
+            let mib_s = bytes as f64 / (median_ns as f64 / 1e9) / (1024.0 * 1024.0);
+            println!("{name:<40} {median_ns:>12} ns/iter   {mib_s:>10.1} MiB/s");
+        }
+        Some(Throughput::Elements(elems)) if median_ns > 0 => {
+            let elem_s = elems as f64 / (median_ns as f64 / 1e9);
+            println!("{name:<40} {median_ns:>12} ns/iter   {elem_s:>10.0} elem/s");
+        }
+        _ => println!("{name:<40} {median_ns:>12} ns/iter"),
+    }
+}
+
+/// Bundle benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` for one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(5);
+        g.bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,90 @@
+//! Slice sampling helpers (rand's `seq` module, subset).
+
+use crate::{Rng, RngCore};
+
+/// Extension methods for random sampling from slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniformly chosen reference, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Up to `amount` distinct elements, in random order.
+    fn choose_multiple<R: RngCore + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&T> {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        indices.truncate(amount.min(self.len()));
+        indices.into_iter().map(|i| &self[i]).collect()
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_hits_every_element() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[*xs.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<u32> = (0..10).collect();
+        let picked = xs.choose_multiple(&mut rng, 4);
+        assert_eq!(picked.len(), 4);
+        let mut vals: Vec<u32> = picked.into_iter().copied().collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 4, "choices must be distinct");
+    }
+}
