@@ -1,0 +1,97 @@
+//! Criterion bench of the event-queue backends under the paper
+//! workload: N = 1000 nodes' worth of periodic protocol timers
+//! (stabilize 2 s, walk 15 s, finger 30 s, surveillance 60 s, lookup
+//! 60 s) with latency-delayed message deliveries, driven queue-only so
+//! the measurement isolates scheduler cost. Reported as ns per popped
+//! event — the inverse of events/sec — for each backend.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use octopus_sim::{split_seed, Duration, EventQueue, SchedulerKind, SimTime};
+
+const N_NODES: u64 = 1000;
+const SIM_SECS: u64 = 30;
+
+/// The §5.1 periodic timer kinds and their periods.
+const TIMERS: [(u8, u64); 5] = [
+    (0, 2),  // stabilize
+    (1, 15), // random walk
+    (2, 30), // finger update
+    (3, 60), // surveillance
+    (4, 60), // application lookup
+];
+
+/// Mirror of the engine's real event shape: `octopus_core::Msg` is
+/// 72 bytes, so the world's `Event::Deliver` moves ≈ 88 bytes per heap
+/// sift — benching a pointer-sized toy event would flatter the heap.
+type WirePayload = [u64; 9];
+
+#[derive(Clone, Copy)]
+enum Ev {
+    Timer { node: u64, kind: u8 },
+    Deliver { hop: u8, msg: WirePayload },
+}
+
+/// Drive the workload on one backend; returns the number of events
+/// popped (identical across backends — the determinism contract).
+fn drive(kind: SchedulerKind) -> u64 {
+    let mut q: EventQueue<Ev> = EventQueue::with_scheduler(kind);
+    let end = SimTime::from_secs(SIM_SECS);
+    // deterministic cheap latency stream (~20–420 ms one-way)
+    let mut latency_state = 0x9E37_79B9u64;
+    let mut next_latency = move || {
+        latency_state = split_seed(latency_state, 0xA5A5);
+        Duration(20_000 + latency_state % 400_000)
+    };
+    for node in 0..N_NODES {
+        for (timer, period_s) in TIMERS {
+            // phase-offset the periodic timers as real joins would
+            let phase = split_seed(node, u64::from(timer)) % (period_s * 1_000_000);
+            q.push(SimTime(phase), Ev::Timer { node, kind: timer });
+        }
+    }
+    let mut events = 0u64;
+    while let Some((t, ev)) = q.pop() {
+        events += 1;
+        if t >= end {
+            continue; // drain without refilling past the horizon
+        }
+        match ev {
+            Ev::Timer { node, kind } => {
+                let period_s = TIMERS[kind as usize].1;
+                q.push(t + Duration::from_secs(period_s), Ev::Timer { node, kind });
+                // each timer firing sends a request that gets a reply
+                let msg = [node ^ u64::from(kind); 9];
+                q.push(t + next_latency(), Ev::Deliver { hop: 1, msg });
+            }
+            Ev::Deliver { hop, msg } => {
+                // a short request/reply/forward chain per message
+                if hop < 3 {
+                    q.push(t + next_latency(), Ev::Deliver { hop: hop + 1, msg });
+                }
+            }
+        }
+    }
+    events
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    let heap_events = drive(SchedulerKind::BinaryHeap);
+    let wheel_events = drive(SchedulerKind::TimingWheel);
+    assert_eq!(
+        heap_events, wheel_events,
+        "backends must process identical event streams"
+    );
+    let mut g = c.benchmark_group("sim_engine");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(heap_events));
+    g.bench_function("events_binary_heap_n1000", |b| {
+        b.iter(|| drive(SchedulerKind::BinaryHeap))
+    });
+    g.bench_function("events_timing_wheel_n1000", |b| {
+        b.iter(|| drive(SchedulerKind::TimingWheel))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_engine);
+criterion_main!(benches);

@@ -21,6 +21,7 @@ fn bench_sim(c: &mut Criterion) {
                 seed: 1,
                 octopus: OctopusConfig::for_network(100),
                 lookups_enabled: true,
+                scheduler: Default::default(),
             };
             SecuritySim::new(cfg).run()
         })

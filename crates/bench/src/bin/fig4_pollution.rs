@@ -1,18 +1,21 @@
 //! Fig. 4: fingertable pollution attack — remaining malicious fraction
 //! over time at attack rates 100 % and 50 %.
 
-use octopus_bench::{print_fraction_series, security_config, Scale};
-use octopus_core::{AttackKind, SecuritySim};
+use octopus_bench::{print_fraction_series, run_merged_sweep, RunArgs};
+use octopus_core::AttackKind;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = RunArgs::from_env();
     println!("Fig 4: fingertable pollution attack\n");
-    for rate in [1.0, 0.5] {
-        let cfg = security_config(scale, AttackKind::FingerPollution, rate, 34);
-        let report = SecuritySim::new(cfg).run();
+    let rates = [1.0, 0.5];
+    let points: Vec<_> = rates
+        .iter()
+        .map(|&rate| args.security_config(AttackKind::FingerPollution, rate, 34))
+        .collect();
+    for (report, rate) in run_merged_sweep(&args, &points).iter().zip(rates) {
         print_fraction_series(
             &format!("attack rate = {:.0}%", rate * 100.0),
-            &report.malicious_fraction,
+            &report.mean_series(&report.malicious_fraction),
         );
         println!(
             "(FP rate {:.2}%, FN rate {:.2}%)\n",

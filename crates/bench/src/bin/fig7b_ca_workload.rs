@@ -3,28 +3,28 @@
 //! beginning (most attackers alive), ~2 msgs/s at the busiest, and
 //! hardly any new reports after 20 min.
 
-use octopus_bench::{security_config, Scale};
-use octopus_core::{AttackKind, SecuritySim};
+use octopus_bench::{run_merged_sweep, RunArgs};
+use octopus_core::AttackKind;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = RunArgs::from_env();
     println!("Fig 7(b): messages received by the CA (per 10s bin)\n");
-    for (name, attack) in [
+    let attacks = [
         ("Lookup bias", AttackKind::LookupBias),
         ("FT manipulation", AttackKind::FingerManipulation),
         ("FT pollution", AttackKind::FingerPollution),
-    ] {
-        let cfg = security_config(scale, attack, 1.0, 37);
-        let report = SecuritySim::new(cfg).run();
+    ];
+    let points: Vec<_> = attacks
+        .iter()
+        .map(|&(_, attack)| args.security_config(attack, 1.0, 37))
+        .collect();
+    for (report, (name, _)) in run_merged_sweep(&args, &points).iter().zip(attacks) {
+        let bins = report.mean_series(&report.ca_messages);
         println!("# {name}: time(s)  CA msgs in bin");
-        for &(t, v) in report.ca_messages.iter().step_by(2) {
+        for &(t, v) in bins.iter().step_by(2) {
             println!("{t:7.0}  {v:7.0}");
         }
-        let peak = report
-            .ca_messages
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(0.0, f64::max);
+        let peak = bins.iter().map(|&(_, v)| v).fold(0.0, f64::max);
         println!("(peak {:.1} msgs/s)\n", peak / 10.0);
     }
 }

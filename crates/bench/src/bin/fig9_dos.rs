@@ -1,18 +1,21 @@
 //! Fig. 9: selective-DoS attack — remaining malicious fraction over time
 //! at attack rates 100 % and 50 % (Appendix II defense).
 
-use octopus_bench::{print_fraction_series, security_config, Scale};
-use octopus_core::{AttackKind, SecuritySim};
+use octopus_bench::{print_fraction_series, run_merged_sweep, RunArgs};
+use octopus_core::AttackKind;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = RunArgs::from_env();
     println!("Fig 9: selective DoS attack\n");
-    for rate in [1.0, 0.5] {
-        let cfg = security_config(scale, AttackKind::SelectiveDos, rate, 39);
-        let report = SecuritySim::new(cfg).run();
+    let rates = [1.0, 0.5];
+    let points: Vec<_> = rates
+        .iter()
+        .map(|&rate| args.security_config(AttackKind::SelectiveDos, rate, 39))
+        .collect();
+    for (report, rate) in run_merged_sweep(&args, &points).iter().zip(rates) {
         print_fraction_series(
             &format!("attack rate = {:.0}%", rate * 100.0),
-            &report.malicious_fraction,
+            &report.mean_series(&report.malicious_fraction),
         );
         println!(
             "(FP rate {:.2}%, failed lookups {})\n",

@@ -6,15 +6,12 @@
 
 use octopus_anonymity::timing::{timing_attack_error_rate, timing_leak_bits};
 use octopus_anonymity::TimingConfig;
-use octopus_bench::Scale;
+use octopus_bench::RunArgs;
 use octopus_metrics::TextTable;
 
 fn main() {
-    let scale = Scale::from_env();
-    let trials = match scale {
-        Scale::Quick => 200,
-        Scale::Full => 1000,
-    };
+    let args = RunArgs::from_env();
+    let trials = args.scale.timing_trials() * args.trials;
     println!("Table 1: error rate of end-to-end timing analysis attack");
     println!("(paper: 99.35%-99.95%; leak at 100ms/α=5%: 0.018 bit)\n");
     let mut table = TextTable::new(["Max. delay", "alpha=0.5%", "alpha=1%", "alpha=5%"]);
@@ -27,7 +24,7 @@ fn main() {
                 alpha,
                 max_delay_ms,
                 trials,
-                seed: 21,
+                seed: args.seed_or(21),
             };
             let err = timing_attack_error_rate(&cfg);
             row.push(format!("{:.2}%", err * 100.0));

@@ -3,14 +3,14 @@
 //! churn (λ = 60 min vs λ = 10 min), attack rate 100 %, consistent
 //! collusion 50 %.
 
-use octopus_bench::{security_config, Scale};
+use octopus_bench::{run_merged_sweep, RunArgs};
 use octopus_core::simnet::ReportCat;
-use octopus_core::{AttackKind, SecuritySim};
+use octopus_core::AttackKind;
 use octopus_metrics::TextTable;
 use octopus_sim::Duration;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = RunArgs::from_env();
     println!("Table 2: identification accuracy (attack rate 100%, collusion 50%)");
     println!("(paper: FP = 0 everywhere; FN <= 0.52% bias / 14-20% finger attacks)\n");
     let mut table = TextTable::new([
@@ -39,15 +39,26 @@ fn main() {
             ReportCat::FingerUpdate,
         ),
     ];
-    for (name, attack, cat) in attacks {
+    const LIFETIMES_MIN: [u64; 2] = [60, 10];
+    // all six (attack × churn) cells are independent sims: run them as
+    // one parallel batch
+    let points: Vec<_> = attacks
+        .iter()
+        .flat_map(|&(_, attack, _)| {
+            LIFETIMES_MIN.iter().map(move |&lifetime_min| {
+                let mut cfg = args.security_config(attack, 1.0, 100 + lifetime_min + attack as u64);
+                cfg.mean_lifetime = Some(Duration::from_secs(lifetime_min * 60));
+                cfg
+            })
+        })
+        .collect();
+    let reports = run_merged_sweep(&args, &points);
+    for (row, (name, _, cat)) in reports.chunks(LIFETIMES_MIN.len()).zip(attacks) {
         let mut cells = vec![name.to_string()];
         let mut fns = Vec::new();
         let mut alarms = Vec::new();
         let mut fps = Vec::new();
-        for lifetime_min in [60u64, 10] {
-            let mut cfg = security_config(scale, attack, 1.0, 100 + lifetime_min + attack as u64);
-            cfg.mean_lifetime = Some(Duration::from_secs(lifetime_min * 60));
-            let report = SecuritySim::new(cfg).run();
+        for report in row {
             fps.push(format!("{:.2}%", report.false_positive_rate() * 100.0));
             let fn_rate = match cat {
                 ReportCat::NeighborSurveillance => report.neighbor_fn_rate(),

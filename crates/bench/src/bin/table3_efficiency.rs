@@ -8,9 +8,9 @@
 //! (footnote 4) with lookups every 5 and 10 minutes.
 
 use octopus_baselines::{chord_lookup, halo_lookup};
-use octopus_bench::Scale;
+use octopus_bench::RunArgs;
 use octopus_chord::{ChordConfig, GroundTruthView};
-use octopus_core::{AttackKind, OctopusConfig, SecuritySim, SimConfig};
+use octopus_core::{AttackKind, OctopusConfig, SimConfig};
 use octopus_id::{IdSpace, Key};
 use octopus_metrics::{Summary, TextTable};
 use octopus_net::{sizes, KingLikeLatency};
@@ -19,10 +19,10 @@ use rand::Rng;
 
 const N: usize = 207; // the paper's PlanetLab deployment size
 
-fn octopus_run(lookup_interval: Duration, secs: u64) -> (Summary, f64) {
+fn octopus_config(args: &RunArgs, lookup_interval: Duration, secs: u64) -> SimConfig {
     let mut octopus = OctopusConfig::for_network(N);
     octopus.lookup_every = lookup_interval;
-    let cfg = SimConfig {
+    SimConfig {
         n: N,
         malicious_fraction: 0.0,
         attack: AttackKind::Passive,
@@ -30,14 +30,11 @@ fn octopus_run(lookup_interval: Duration, secs: u64) -> (Summary, f64) {
         consistent_collusion: 0.0,
         mean_lifetime: None,
         duration: Duration::from_secs(secs),
-        seed: 77,
+        seed: args.seed_or(77),
         octopus,
         lookups_enabled: true,
-    };
-    let report = SecuritySim::new(cfg).run();
-    let mut lat = Summary::new();
-    lat.extend(report.lookup_latencies_ms.iter().map(|&ms| ms / 1000.0));
-    (lat, report.bandwidth_kbps)
+        scheduler: args.scheduler,
+    }
 }
 
 /// Analytic maintenance bandwidth for plain Chord (stabilization every
@@ -58,12 +55,10 @@ fn chord_kbps(lookup_interval_s: f64, lookup_bytes: f64) -> f64 {
 }
 
 fn main() {
-    let scale = Scale::from_env();
-    let (secs, trials) = match scale {
-        Scale::Quick => (240u64, 400usize),
-        Scale::Full => (600, 2000),
-    };
-    let mut rng = derive_rng(99, b"table3", 0);
+    let args = RunArgs::from_env();
+    let secs = args.scale.planetlab_secs();
+    let trials = args.scale.comparison_trials();
+    let mut rng = derive_rng(args.seed_or(99), b"table3", 0);
     let space = IdSpace::random(N, &mut rng);
     let chord_cfg = ChordConfig::for_network(N);
     let view = GroundTruthView::new(&space, chord_cfg);
@@ -71,8 +66,24 @@ fn main() {
 
     // --- latency ---
     println!("running Octopus ({N} nodes, {secs}s, real protocol in the event sim)…");
-    let (mut oct_lat, oct_kbps_5m) = octopus_run(Duration::from_secs(300), secs);
-    let (_, oct_kbps_10m) = octopus_run(Duration::from_secs(600), secs);
+    // the two lookup-interval runs (× trials) are independent: one
+    // parallel batch, merged per interval
+    let octopus_reports = octopus_bench::run_merged_sweep(
+        &args,
+        &[
+            octopus_config(&args, Duration::from_secs(300), secs),
+            octopus_config(&args, Duration::from_secs(600), secs),
+        ],
+    );
+    let mut oct_lat = Summary::new();
+    oct_lat.extend(
+        octopus_reports[0]
+            .lookup_latencies_ms
+            .iter()
+            .map(|&ms| ms / 1000.0),
+    );
+    let oct_kbps_5m = octopus_reports[0].bandwidth_kbps;
+    let oct_kbps_10m = octopus_reports[1].bandwidth_kbps;
 
     let mut chord_lat = Summary::new();
     let mut halo_lat = Summary::new();

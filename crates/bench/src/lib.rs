@@ -3,21 +3,27 @@
 //!
 //! Experiment binaries live in `src/bin/` and print rows/series shaped
 //! like the paper's tables and figures; `cargo bench` additionally runs
-//! Criterion micro-benchmarks of the underlying machinery (`benches/`).
+//! Criterion micro-benchmarks of the underlying machinery (`benches/`),
+//! including the `sim_engine` bench comparing event-queue backends.
 //!
-//! Scale control: every binary honours the `OCTOPUS_SCALE` environment
-//! variable — `full` runs the paper's exact parameters (N = 1000 × 1000 s
-//! security sims, N = 100 000 anonymity rings; minutes of CPU), while the
-//! default `quick` runs a reduced-but-shape-preserving configuration
-//! suitable for CI.
+//! Every binary reads one shared [`RunArgs`] configuration, from the
+//! environment or CLI flags (flags win):
+//!
+//! | env | flag | meaning | default |
+//! |---|---|---|---|
+//! | `OCTOPUS_SCALE` | `--scale` | `quick` or `full` experiment size | `quick` |
+//! | `OCTOPUS_SEED` | `--seed` | master seed override | per-bin constant |
+//! | `OCTOPUS_THREADS` | `--threads` | trial-runner worker threads | available parallelism |
+//! | `OCTOPUS_TRIALS` | `--trials` | independent trials merged per data point | 1 |
+//! | `OCTOPUS_SCHEDULER` | `--scheduler` | `timing-wheel` or `binary-heap` backend | `timing-wheel` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use octopus_core::{AttackKind, OctopusConfig, SimConfig};
+use octopus_core::{AttackKind, OctopusConfig, SchedulerKind, SimConfig, TrialRunner};
 use octopus_sim::Duration;
 
-/// Experiment scale, from `OCTOPUS_SCALE` (`quick` default, or `full`).
+/// Experiment scale (paper-exact vs CI-sized), from `OCTOPUS_SCALE`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
     /// Reduced parameters, same shapes — seconds of CPU.
@@ -27,12 +33,19 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Read the scale from the environment.
+    /// Read the scale from the environment (`quick` default).
     #[must_use]
     pub fn from_env() -> Self {
-        match std::env::var("OCTOPUS_SCALE").as_deref() {
-            Ok("full") => Scale::Full,
-            _ => Scale::Quick,
+        RunArgs::from_env().scale
+    }
+
+    /// Parse a scale name (`quick`/`full`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
         }
     }
 
@@ -71,23 +84,205 @@ impl Scale {
             Scale::Full => 1000,
         }
     }
+
+    /// Timing-attack Monte-Carlo trials (Table 1).
+    #[must_use]
+    pub fn timing_trials(self) -> usize {
+        match self {
+            Scale::Quick => 200,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Simulated seconds for the PlanetLab-sized efficiency runs
+    /// (Table 3 / Fig. 7a).
+    #[must_use]
+    pub fn planetlab_secs(self) -> u64 {
+        match self {
+            Scale::Quick => 240,
+            Scale::Full => 600,
+        }
+    }
+
+    /// Baseline lookup replays for the efficiency comparison (Table 3).
+    #[must_use]
+    pub fn comparison_trials(self) -> usize {
+        match self {
+            Scale::Quick => 400,
+            Scale::Full => 2000,
+        }
+    }
 }
 
-/// A security-sim configuration matching §5.1 at the given scale.
+/// Shared experiment configuration parsed once per binary: scale, seed,
+/// trial/thread fan-out and scheduler backend, from environment
+/// variables or CLI flags (see the [crate docs](self) for the table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunArgs {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master-seed override; bins fall back to their per-bin constant
+    /// via [`RunArgs::seed_or`] so published outputs stay reproducible.
+    pub seed: Option<u64>,
+    /// Worker threads for the [`TrialRunner`].
+    pub threads: usize,
+    /// Independent trials merged per data point.
+    pub trials: usize,
+    /// Event-queue backend for every simulation in the run.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            scale: Scale::Quick,
+            seed: None,
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            trials: 1,
+            scheduler: SchedulerKind::default(),
+        }
+    }
+}
+
+impl RunArgs {
+    /// Parse from the process environment and CLI arguments.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse(&args, |k| std::env::var(k).ok())
+    }
+
+    /// Pure parsing core (tested without touching the real
+    /// environment). Unknown flags and malformed values fall back to
+    /// defaults rather than aborting an experiment run.
+    #[must_use]
+    pub fn parse(args: &[String], env: impl Fn(&str) -> Option<String>) -> Self {
+        let mut out = RunArgs::default();
+        let mut apply = |key: &str, value: &str| match key {
+            "scale" => {
+                if let Some(s) = Scale::parse(value) {
+                    out.scale = s;
+                }
+            }
+            "seed" => out.seed = value.parse().ok().or(out.seed),
+            "threads" => {
+                if let Ok(t) = value.parse::<usize>() {
+                    out.threads = t.max(1);
+                }
+            }
+            "trials" => {
+                if let Ok(t) = value.parse::<usize>() {
+                    out.trials = t.max(1);
+                }
+            }
+            "scheduler" => {
+                if let Some(k) = SchedulerKind::parse(value) {
+                    out.scheduler = k;
+                }
+            }
+            _ => {}
+        };
+        for (env_key, key) in [
+            ("OCTOPUS_SCALE", "scale"),
+            ("OCTOPUS_SEED", "seed"),
+            ("OCTOPUS_THREADS", "threads"),
+            ("OCTOPUS_TRIALS", "trials"),
+            ("OCTOPUS_SCHEDULER", "scheduler"),
+        ] {
+            if let Some(v) = env(env_key) {
+                apply(key, &v);
+            }
+        }
+        const KNOWN_FLAGS: [&str; 5] = ["scale", "seed", "threads", "trials", "scheduler"];
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(flag) = arg.strip_prefix("--") else {
+                continue;
+            };
+            match flag.split_once('=') {
+                Some((key, value)) => apply(key, value),
+                None => {
+                    // Only a known flag may consume the next token as
+                    // its value, and never one that is itself a flag —
+                    // an unknown `--verbose` must not swallow `--scale`.
+                    if KNOWN_FLAGS.contains(&flag)
+                        && it.peek().is_some_and(|v| !v.starts_with("--"))
+                    {
+                        let value = it.next().expect("peeked value exists");
+                        apply(flag, value);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The seed to use: the override, or this bin's published constant.
+    #[must_use]
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// A trial runner sized to the requested thread count.
+    #[must_use]
+    pub fn runner(&self) -> TrialRunner {
+        TrialRunner::new(self.threads)
+    }
+
+    /// A security-sim configuration matching §5.1 at this run's scale,
+    /// seed policy and scheduler backend.
+    #[must_use]
+    pub fn security_config(&self, attack: AttackKind, attack_rate: f64, seed: u64) -> SimConfig {
+        SimConfig {
+            n: self.scale.sim_n(),
+            malicious_fraction: 0.2,
+            attack,
+            attack_rate,
+            consistent_collusion: 0.5,
+            mean_lifetime: None,
+            duration: Duration::from_secs(self.scale.sim_secs()),
+            seed: self.seed_or(seed),
+            octopus: OctopusConfig::for_network(self.scale.sim_n()),
+            lookups_enabled: true,
+            scheduler: self.scheduler,
+        }
+    }
+}
+
+/// A security-sim configuration matching §5.1 at the given scale (the
+/// pre-[`RunArgs`] entry point, kept for tests and external callers).
 #[must_use]
 pub fn security_config(scale: Scale, attack: AttackKind, attack_rate: f64, seed: u64) -> SimConfig {
-    SimConfig {
-        n: scale.sim_n(),
-        malicious_fraction: 0.2,
-        attack,
-        attack_rate,
-        consistent_collusion: 0.5,
-        mean_lifetime: None,
-        duration: Duration::from_secs(scale.sim_secs()),
-        seed,
-        octopus: OctopusConfig::for_network(scale.sim_n()),
-        lookups_enabled: true,
+    RunArgs {
+        scale,
+        ..RunArgs::default()
     }
+    .security_config(attack, attack_rate, seed)
+}
+
+/// Run every sweep point — expanded to `args.trials` independent seeded
+/// trials each — through one parallel [`TrialRunner`] batch, and return
+/// one merged [`SimReport`](octopus_core::SimReport) per point, in
+/// order. Points *and* trials share the thread pool, so a six-point
+/// sweep saturates the machine even at one trial per point.
+#[must_use]
+pub fn run_merged_sweep(args: &RunArgs, points: &[SimConfig]) -> Vec<octopus_core::SimReport> {
+    let configs: Vec<SimConfig> = points
+        .iter()
+        .flat_map(|p| octopus_core::trial_configs(p, args.trials))
+        .collect();
+    let mut reports = args.runner().run(&configs).into_iter();
+    points
+        .iter()
+        .map(|_| {
+            reports
+                .by_ref()
+                .take(args.trials)
+                .collect::<octopus_metrics::Accumulator<_>>()
+                .into_inner()
+                .expect("at least one trial per sweep point")
+        })
+        .collect()
 }
 
 /// Print a malicious-fraction-over-time series as the figures do.
@@ -102,11 +297,17 @@ pub fn print_fraction_series(label: &str, series: &[(f64, f64)]) {
 mod tests {
     use super::*;
 
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
     #[test]
     fn scale_parses_env_convention() {
         assert_eq!(Scale::Quick.sim_n(), 300);
         assert_eq!(Scale::Full.sim_n(), 1000);
         assert!(Scale::Full.anon_n() > Scale::Quick.anon_n());
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
     }
 
     #[test]
@@ -115,5 +316,87 @@ mod tests {
         assert_eq!(c.n, 1000);
         assert!((c.malicious_fraction - 0.2).abs() < 1e-12);
         assert_eq!(c.duration, Duration::from_secs(1000));
+    }
+
+    #[test]
+    fn run_args_defaults() {
+        let a = RunArgs::parse(&[], no_env);
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.seed, None);
+        assert_eq!(a.trials, 1);
+        assert!(a.threads >= 1);
+        assert_eq!(a.scheduler, SchedulerKind::TimingWheel);
+        assert_eq!(a.seed_or(31), 31);
+    }
+
+    #[test]
+    fn run_args_from_env_map() {
+        let env = |k: &str| match k {
+            "OCTOPUS_SCALE" => Some("full".to_string()),
+            "OCTOPUS_SEED" => Some("99".to_string()),
+            "OCTOPUS_THREADS" => Some("2".to_string()),
+            "OCTOPUS_TRIALS" => Some("5".to_string()),
+            "OCTOPUS_SCHEDULER" => Some("binary-heap".to_string()),
+            _ => None,
+        };
+        let a = RunArgs::parse(&[], env);
+        assert_eq!(a.scale, Scale::Full);
+        assert_eq!(a.seed_or(31), 99);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.trials, 5);
+        assert_eq!(a.scheduler, SchedulerKind::BinaryHeap);
+    }
+
+    #[test]
+    fn cli_flags_override_env() {
+        let env = |k: &str| (k == "OCTOPUS_SCALE").then(|| "full".to_string());
+        let args: Vec<String> = ["--scale", "quick", "--seed=7", "--scheduler", "heap"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let a = RunArgs::parse(&args, env);
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.seed, Some(7));
+        assert_eq!(a.scheduler, SchedulerKind::BinaryHeap);
+    }
+
+    #[test]
+    fn unknown_flags_do_not_swallow_real_ones() {
+        let args: Vec<String> = ["--verbose", "--scale", "full", "--seed", "--trials", "3"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let a = RunArgs::parse(&args, no_env);
+        // --verbose must not eat --scale; --seed without a value must
+        // not eat --trials
+        assert_eq!(a.scale, Scale::Full);
+        assert_eq!(a.seed, None);
+        assert_eq!(a.trials, 3);
+    }
+
+    #[test]
+    fn malformed_values_fall_back() {
+        let args: Vec<String> = ["--threads", "zero", "--trials=-3", "--scale", "big"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let a = RunArgs::parse(&args, no_env);
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.trials, 1);
+        assert!(a.threads >= 1);
+    }
+
+    #[test]
+    fn run_args_plumb_into_security_config() {
+        let args: Vec<String> = ["--scale", "full", "--scheduler", "heap", "--seed", "5"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let a = RunArgs::parse(&args, no_env);
+        let c = a.security_config(AttackKind::FingerPollution, 0.5, 34);
+        assert_eq!(c.n, 1000);
+        assert_eq!(c.seed, 5);
+        assert_eq!(c.scheduler, SchedulerKind::BinaryHeap);
+        assert!((c.attack_rate - 0.5).abs() < 1e-12);
     }
 }

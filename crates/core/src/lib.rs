@@ -38,6 +38,7 @@ pub mod messages;
 pub mod node;
 pub mod simnet;
 pub mod surveillance;
+pub mod trial;
 pub mod walk;
 
 pub use adversary::{AdversaryState, AttackKind, SharedAdversary};
@@ -45,4 +46,6 @@ pub use ca::CaNode;
 pub use config::OctopusConfig;
 pub use messages::{Msg, OnionPacket, Timer};
 pub use node::OctopusNode;
+pub use octopus_sim::SchedulerKind;
 pub use simnet::{Actor, Control, SecuritySim, SimConfig, SimReport};
+pub use trial::{trial_configs, TrialRunner};

@@ -15,8 +15,9 @@ use std::collections::{HashMap, HashSet};
 use octopus_chord::ChordConfig;
 use octopus_crypto::{CertificateAuthority, KeyPair};
 use octopus_id::{IdSpace, Key, NodeId};
+use octopus_metrics::{merge_point_series, Merge};
 use octopus_net::{Addr, Ctx, KingLikeLatency, NodeBehavior, StepOutcome, World};
-use octopus_sim::{derive_rng, ChurnProcess, Duration, SimTime};
+use octopus_sim::{derive_rng, ChurnProcess, Duration, SchedulerKind, SimTime};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -173,6 +174,9 @@ pub struct SimConfig {
     pub octopus: OctopusConfig,
     /// Whether peers run application lookups (Fig. 3(b) accounting).
     pub lookups_enabled: bool,
+    /// Event-queue backend. All backends produce identical reports (the
+    /// scheduler determinism contract); they differ only in speed.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -188,13 +192,19 @@ impl Default for SimConfig {
             seed: 42,
             octopus: OctopusConfig::default(),
             lookups_enabled: true,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
 
-/// Aggregated results of one run.
-#[derive(Clone, Debug, Default)]
+/// Aggregated results of one run — or, after
+/// [`Merge`]-ing, of several independent trials (time series then hold
+/// per-trial *sums*; divide by [`SimReport::trials`] via
+/// [`SimReport::mean_series`] for per-trial curves).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimReport {
+    /// Number of trials folded into this report (1 for a single run).
+    pub trials: u64,
     /// `(t, fraction of the network that is unrevoked-malicious)`.
     pub malicious_fraction: Vec<(f64, f64)>,
     /// `(t, cumulative lookups completed)`.
@@ -306,10 +316,64 @@ impl SimReport {
         }
     }
 
-    /// Fraction of malicious nodes still in the network at the end.
+    /// Fraction of malicious nodes still in the network at the end
+    /// (averaged over trials for a merged report).
     #[must_use]
     pub fn final_malicious_fraction(&self) -> f64 {
-        self.malicious_fraction.last().map_or(0.0, |&(_, f)| f)
+        let t = self.trials.max(1) as f64;
+        self.malicious_fraction.last().map_or(0.0, |&(_, f)| f / t)
+    }
+
+    /// Scale a summed time series down to a per-trial mean. For a
+    /// single-run report (`trials == 1`) this is the identity.
+    #[must_use]
+    pub fn mean_series(&self, series: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let t = self.trials.max(1) as f64;
+        series.iter().map(|&(x, v)| (x, v / t)).collect()
+    }
+}
+
+impl Merge for SimReport {
+    /// Fold another trial's report into this one: counters and series
+    /// sum, latency samples pool, bandwidth averages weighted by trial
+    /// count. Associative and trial-order-deterministic, as the
+    /// [`Merge`] contract requires.
+    fn merge(&mut self, other: Self) {
+        let self_trials = self.trials.max(1);
+        let other_trials = other.trials.max(1);
+        merge_point_series(&mut self.malicious_fraction, &other.malicious_fraction);
+        merge_point_series(&mut self.lookups_total, &other.lookups_total);
+        merge_point_series(&mut self.lookups_biased, &other.lookups_biased);
+        merge_point_series(&mut self.ca_messages, &other.ca_messages);
+        self.false_positives += other.false_positives;
+        self.revocations += other.revocations;
+        self.tests_of_bad += other.tests_of_bad;
+        self.tests_missed += other.tests_missed;
+        self.neighbor_tests_of_bad += other.neighbor_tests_of_bad;
+        self.neighbor_tests_missed += other.neighbor_tests_missed;
+        self.finger_tests_of_bad += other.finger_tests_of_bad;
+        self.finger_tests_missed += other.finger_tests_missed;
+        for (cat, dismissed, convicted) in other.verdicts_by_cat {
+            match self.verdicts_by_cat.iter_mut().find(|(c, _, _)| *c == cat) {
+                Some(slot) => {
+                    slot.1 += dismissed;
+                    slot.2 += convicted;
+                }
+                None => self.verdicts_by_cat.push((cat, dismissed, convicted)),
+            }
+        }
+        self.dismissed += other.dismissed;
+        self.convicted += other.convicted;
+        self.biased_lookups += other.biased_lookups;
+        self.completed_lookups += other.completed_lookups;
+        self.failed_lookups += other.failed_lookups;
+        self.walks_ok += other.walks_ok;
+        self.walks_failed += other.walks_failed;
+        self.lookup_latencies_ms.extend(other.lookup_latencies_ms);
+        self.bandwidth_kbps = (self.bandwidth_kbps * self_trials as f64
+            + other.bandwidth_kbps * other_trials as f64)
+            / (self_trials + other_trials) as f64;
+        self.trials = self_trials + other_trials;
     }
 }
 
@@ -367,7 +431,8 @@ impl SecuritySim {
 
         // --- world ---
         let latency = KingLikeLatency::new(octopus_sim::split_seed(cfg.seed, 7));
-        let mut world: World<Actor, KingLikeLatency> = World::new(latency, cfg.seed);
+        let mut world: World<Actor, KingLikeLatency> =
+            World::with_scheduler(latency, cfg.seed, cfg.scheduler);
         world.insert_node(CA_ADDR, Actor::Ca(Box::new(ca_node)));
 
         let chord = cfg.octopus.chord;
@@ -447,7 +512,10 @@ impl SecuritySim {
 
     /// Run to completion and produce the report.
     pub fn run(&mut self) -> SimReport {
-        let mut report = SimReport::default();
+        let mut report = SimReport {
+            trials: 1,
+            ..SimReport::default()
+        };
         let end = SimTime::ZERO + self.cfg.duration;
         let bin = 10.0; // seconds per CA-workload bin
         let mut ca_bins: Vec<f64> = vec![0.0; (self.cfg.duration.as_secs_f64() / bin) as usize + 1];

@@ -1,0 +1,166 @@
+//! Parallel multi-trial simulation driver.
+//!
+//! The paper's figures average independent seeded runs; a parameter
+//! sweep multiplies that by every grid point. Each [`SecuritySim`] is
+//! single-threaded and deterministic, so trials are embarrassingly
+//! parallel: [`TrialRunner`] fans a batch of [`SimConfig`]s across
+//! scoped OS threads and collects the [`SimReport`]s in *submission
+//! order*, so results — including [`TrialRunner::run_merged`] folds —
+//! are bit-identical no matter how many threads run them or how the OS
+//! schedules completion.
+
+use octopus_metrics::Accumulator;
+use octopus_sim::split_seed;
+
+use crate::simnet::{SecuritySim, SimConfig, SimReport};
+
+/// Fans independent simulation trials across worker threads.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialRunner {
+    threads: usize,
+}
+
+impl Default for TrialRunner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl TrialRunner {
+    /// A runner using `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        TrialRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Thread count from `OCTOPUS_THREADS`, defaulting to the machine's
+    /// available parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let threads = std::env::var("OCTOPUS_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        Self::new(threads)
+    }
+
+    /// Worker thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every config (each a full build-and-run of a [`SecuritySim`])
+    /// and return the reports in the same order as `configs`.
+    ///
+    /// Trials are dealt round-robin to `min(threads, configs.len())`
+    /// scoped threads; with one thread this degenerates to a plain
+    /// sequential loop.
+    #[must_use]
+    pub fn run(&self, configs: &[SimConfig]) -> Vec<SimReport> {
+        let workers = self.threads.min(configs.len()).max(1);
+        if workers == 1 {
+            return configs
+                .iter()
+                .map(|cfg| SecuritySim::new(cfg.clone()).run())
+                .collect();
+        }
+        let mut slots: Vec<Option<SimReport>> = Vec::new();
+        slots.resize_with(configs.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let assigned: Vec<(usize, SimConfig)> = configs
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, c)| (i, c.clone()))
+                        .collect();
+                    scope.spawn(move || {
+                        assigned
+                            .into_iter()
+                            .map(|(i, cfg)| (i, SecuritySim::new(cfg).run()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, report) in handle.join().expect("trial worker panicked") {
+                    slots[i] = Some(report);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every trial produced a report"))
+            .collect()
+    }
+
+    /// Run every config and fold the reports — in config order — into
+    /// one merged [`SimReport`]. `None` when `configs` is empty.
+    #[must_use]
+    pub fn run_merged(&self, configs: &[SimConfig]) -> Option<SimReport> {
+        self.run(configs)
+            .into_iter()
+            .collect::<Accumulator<SimReport>>()
+            .into_inner()
+    }
+
+    /// Run `trials` copies of `base` whose per-trial master seeds are
+    /// derived from `base.seed`, merged into one report.
+    #[must_use]
+    pub fn run_trials(&self, base: &SimConfig, trials: usize) -> Option<SimReport> {
+        self.run_merged(&trial_configs(base, trials))
+    }
+}
+
+/// The per-trial configs for `trials` repetitions of `base`: trial 0
+/// keeps `base.seed` (so a 1-trial run reproduces a plain
+/// `SecuritySim::new(base).run()` exactly), later trials derive
+/// statistically independent master seeds from it.
+#[must_use]
+pub fn trial_configs(base: &SimConfig, trials: usize) -> Vec<SimConfig> {
+    (0..trials)
+        .map(|t| {
+            let mut cfg = base.clone();
+            if t > 0 {
+                cfg.seed = split_seed(base.seed, 0x7121_A15E ^ t as u64);
+            }
+            cfg
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_configs_vary_only_the_seed() {
+        let base = SimConfig::default();
+        let cfgs = trial_configs(&base, 3);
+        assert_eq!(cfgs.len(), 3);
+        assert_eq!(cfgs[0].seed, base.seed, "trial 0 reproduces the base run");
+        assert_ne!(cfgs[1].seed, cfgs[2].seed);
+        for c in &cfgs {
+            assert_eq!(c.n, base.n);
+            assert_eq!(c.duration, base.duration);
+        }
+    }
+
+    #[test]
+    fn runner_clamps_threads() {
+        assert_eq!(TrialRunner::new(0).threads(), 1);
+        assert_eq!(TrialRunner::new(4).threads(), 4);
+    }
+
+    #[test]
+    fn empty_batch_merges_to_none() {
+        assert_eq!(TrialRunner::new(2).run_merged(&[]), None);
+    }
+}

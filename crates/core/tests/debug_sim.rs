@@ -19,6 +19,7 @@ fn diagnose_passive() {
         seed: 3,
         octopus: octopus_core::OctopusConfig::for_network(150),
         lookups_enabled: true,
+        scheduler: Default::default(),
     };
     let mut sim = SecuritySim::new(cfg);
     let report = sim.run_debug();

@@ -1,0 +1,63 @@
+//! Engine-level determinism regressions: the same seeded experiment
+//! must produce byte-identical reports across scheduler backends and
+//! across trial-runner thread counts. These guard the refactored
+//! engine's core promise — backends and parallelism change speed, never
+//! results.
+
+use octopus_core::{
+    trial_configs, AttackKind, OctopusConfig, SchedulerKind, SecuritySim, SimConfig, TrialRunner,
+};
+use octopus_sim::Duration;
+
+fn small(seed: u64, scheduler: SchedulerKind) -> SimConfig {
+    SimConfig {
+        n: 60,
+        malicious_fraction: 0.2,
+        attack: AttackKind::LookupBias,
+        attack_rate: 1.0,
+        duration: Duration::from_secs(45),
+        seed,
+        octopus: OctopusConfig::for_network(60),
+        scheduler,
+        ..SimConfig::default()
+    }
+}
+
+/// A fixed-seed `SecuritySim` produces byte-identical `SimReport`s on
+/// the binary-heap and timing-wheel scheduler backends.
+#[test]
+fn security_sim_identical_across_scheduler_backends() {
+    let heap = SecuritySim::new(small(11, SchedulerKind::BinaryHeap)).run();
+    let wheel = SecuritySim::new(small(11, SchedulerKind::TimingWheel)).run();
+    assert!(
+        heap.completed_lookups > 0 || heap.walks_ok > 0,
+        "run must exercise the protocol"
+    );
+    assert_eq!(heap, wheel, "scheduler backends diverged");
+    // byte-identical, not merely structurally equal
+    assert_eq!(format!("{heap:?}"), format!("{wheel:?}"));
+}
+
+/// T trials on 1 thread and the same T trials on 4 threads merge to
+/// identical metrics.
+#[test]
+fn trial_runner_merge_is_thread_count_invariant() {
+    let configs = trial_configs(&small(23, SchedulerKind::default()), 4);
+    let serial = TrialRunner::new(1).run_merged(&configs).expect("4 trials");
+    let parallel = TrialRunner::new(4).run_merged(&configs).expect("4 trials");
+    assert_eq!(serial.trials, 4);
+    assert_eq!(serial, parallel, "thread count changed merged metrics");
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+/// Per-trial reports also come back in submission order regardless of
+/// worker count, and a 1-trial merged run reproduces the plain run.
+#[test]
+fn trial_runner_preserves_order_and_base_seed() {
+    let configs = trial_configs(&small(31, SchedulerKind::default()), 3);
+    let one = TrialRunner::new(1).run(&configs);
+    let many = TrialRunner::new(3).run(&configs);
+    assert_eq!(one, many);
+    let plain = SecuritySim::new(configs[0].clone()).run();
+    assert_eq!(one[0], plain, "trial 0 must reproduce the base run");
+}

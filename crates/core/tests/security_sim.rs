@@ -18,6 +18,7 @@ fn base(attack: AttackKind, seed: u64) -> SimConfig {
         seed,
         octopus: octopus_core::OctopusConfig::for_network(150),
         lookups_enabled: true,
+        scheduler: Default::default(),
     }
 }
 

@@ -9,10 +9,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod merge;
 pub mod series;
 pub mod summary;
 pub mod table;
 
+pub use merge::{merge_point_series, Accumulator, Merge};
 pub use series::TimeSeries;
 pub use summary::{Cdf, Summary};
 pub use table::TextTable;

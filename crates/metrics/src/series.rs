@@ -51,6 +51,25 @@ impl TimeSeries {
         self.sums.len()
     }
 
+    /// Bin-wise sum of another series' values and counts into this one
+    /// (the basis of the [`Merge`](crate::Merge) impl used when
+    /// combining trial reports).
+    ///
+    /// # Panics
+    /// Panics when the bin layouts differ.
+    pub fn absorb(&mut self, other: &TimeSeries) {
+        assert!(
+            self.bin_width == other.bin_width && self.sums.len() == other.sums.len(),
+            "mismatched bin layout"
+        );
+        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
+            *s += o;
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+    }
+
     /// End of the covered range in seconds.
     #[must_use]
     pub fn end(&self) -> f64 {

@@ -32,6 +32,13 @@ impl Summary {
         self.samples.len()
     }
 
+    /// Pool another summary's samples into this one (the basis of the
+    /// [`Merge`](crate::Merge) impl used when combining trial reports).
+    pub fn absorb(&mut self, other: Summary) {
+        self.samples.extend(other.samples);
+        self.sorted = false;
+    }
+
     /// Arithmetic mean (0 when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {

@@ -21,9 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod latency;
+pub mod slab;
 pub mod wire;
 pub mod world;
 
 pub use latency::{ConstantLatency, KingLikeLatency, LatencyModel};
+pub use octopus_sim::SchedulerKind;
+pub use slab::{NodeSlab, SlotKey};
 pub use wire::{sizes, BandwidthLedger, WireMsg};
 pub use world::{Addr, Ctx, NodeBehavior, StepOutcome, World};

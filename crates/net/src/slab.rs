@@ -1,0 +1,329 @@
+//! Generational slab storage for world-hosted nodes.
+//!
+//! The [`World`](crate::World) used to keep its nodes in a
+//! `HashMap<Addr, Node>`; at N = 10k–100k the per-event hashing and the
+//! pointer-chasing iteration dominate. [`NodeSlab`] stores values in a
+//! dense `Vec` of slots with an `Addr → slot` index on the side: lookups
+//! hash once, the hot take/restore cycle of event dispatch touches only
+//! the slot, and iteration is a linear scan. Slots are *generational* —
+//! each reuse bumps a generation counter so a stale [`SlotKey`] held
+//! across a churn-out can never alias the slot's next occupant.
+
+use std::collections::HashMap;
+
+use crate::world::Addr;
+
+/// A stable handle to an occupied slot: index plus the generation at
+/// acquisition time. Resolving a key whose slot has since been freed or
+/// reused yields `None`, never another node's state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SlotKey {
+    index: u32,
+    generation: u32,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<(Addr, T)>,
+}
+
+/// Dense generational storage with address lookup.
+#[derive(Debug)]
+pub struct NodeSlab<T> {
+    slots: Vec<Slot<T>>,
+    index: HashMap<Addr, u32>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for NodeSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> NodeSlab<T> {
+    /// An empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        NodeSlab {
+            slots: Vec::new(),
+            index: HashMap::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `capacity` values before reallocating.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        NodeSlab {
+            slots: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Is `addr` present?
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.index.contains_key(&addr)
+    }
+
+    /// Insert `value` under `addr`, returning its key. Replaces (and
+    /// returns) any previous value stored under the same address; keys
+    /// taken against the replaced occupant go stale.
+    ///
+    /// # Panics
+    /// Panics when the address's slot is reserved by an un-restored
+    /// [`NodeSlab::take`] — inserting over a taken value is always a
+    /// dispatch-logic bug.
+    pub fn insert(&mut self, addr: Addr, value: T) -> (SlotKey, Option<T>) {
+        if let Some(&idx) = self.index.get(&addr) {
+            let slot = &mut self.slots[idx as usize];
+            let old = slot.value.replace((addr, value)).map(|(_, v)| v);
+            assert!(
+                old.is_some(),
+                "insert over a slot reserved by take (restore it first)"
+            );
+            // the replacement is a new occupant: retire outstanding keys
+            slot.generation = slot.generation.wrapping_add(1);
+            return (
+                SlotKey {
+                    index: idx,
+                    generation: slot.generation,
+                },
+                old,
+            );
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize].value = Some((addr, value));
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("slab index fits u32");
+                self.slots.push(Slot {
+                    generation: 0,
+                    value: Some((addr, value)),
+                });
+                idx
+            }
+        };
+        self.index.insert(addr, idx);
+        self.len += 1;
+        (
+            SlotKey {
+                index: idx,
+                generation: self.slots[idx as usize].generation,
+            },
+            None,
+        )
+    }
+
+    /// Remove and return the value under `addr`, bumping the slot's
+    /// generation so outstanding keys to it go stale.
+    pub fn remove(&mut self, addr: Addr) -> Option<T> {
+        let idx = self.index.remove(&addr)?;
+        let slot = &mut self.slots[idx as usize];
+        let (_, value) = slot.value.take().expect("indexed slot must be occupied");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(idx);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Shared access by address.
+    #[must_use]
+    pub fn get(&self, addr: Addr) -> Option<&T> {
+        let &idx = self.index.get(&addr)?;
+        self.slots[idx as usize].value.as_ref().map(|(_, v)| v)
+    }
+
+    /// Mutable access by address.
+    pub fn get_mut(&mut self, addr: Addr) -> Option<&mut T> {
+        let &idx = self.index.get(&addr)?;
+        self.slots[idx as usize].value.as_mut().map(|(_, v)| v)
+    }
+
+    /// The current key for `addr`, for later `O(1)` access via
+    /// [`NodeSlab::get_key`].
+    #[must_use]
+    pub fn key_of(&self, addr: Addr) -> Option<SlotKey> {
+        let &idx = self.index.get(&addr)?;
+        Some(SlotKey {
+            index: idx,
+            generation: self.slots[idx as usize].generation,
+        })
+    }
+
+    /// Shared access by key; `None` when the key went stale.
+    #[must_use]
+    pub fn get_key(&self, key: SlotKey) -> Option<&T> {
+        let slot = self.slots.get(key.index as usize)?;
+        if slot.generation != key.generation {
+            return None;
+        }
+        slot.value.as_ref().map(|(_, v)| v)
+    }
+
+    /// Take the value out of its slot for re-entrant processing, leaving
+    /// the slot reserved (address still indexed). Pair with
+    /// [`NodeSlab::restore`]; the round trip costs one hash lookup and
+    /// two `Option` moves — no rehashing, no slot churn.
+    pub fn take(&mut self, addr: Addr) -> Option<(SlotKey, T)> {
+        let &idx = self.index.get(&addr)?;
+        let slot = &mut self.slots[idx as usize];
+        let (_, value) = slot.value.take()?;
+        Some((
+            SlotKey {
+                index: idx,
+                generation: slot.generation,
+            },
+            value,
+        ))
+    }
+
+    /// Put a taken value back into its reserved slot.
+    ///
+    /// # Panics
+    /// Panics when `key` does not name the reserved slot of a preceding
+    /// [`NodeSlab::take`] — restoring into a reused or occupied slot is
+    /// always a dispatch-logic bug.
+    pub fn restore(&mut self, addr: Addr, key: SlotKey, value: T) {
+        let slot = &mut self.slots[key.index as usize];
+        assert!(
+            slot.generation == key.generation && slot.value.is_none(),
+            "restore into a slot that was not reserved by take"
+        );
+        slot.value = Some((addr, value));
+    }
+
+    /// Iterate `(addr, &value)` pairs in slot order (a dense scan).
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, &T)> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|s| s.value.as_ref().map(|(a, v)| (*a, v)))
+    }
+
+    /// Iterate stored addresses in slot order.
+    pub fn addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.iter().map(|(a, _)| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_id::NodeId;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s: NodeSlab<u32> = NodeSlab::new();
+        assert!(s.is_empty());
+        s.insert(NodeId(10), 100);
+        s.insert(NodeId(20), 200);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(NodeId(10)), Some(&100));
+        *s.get_mut(NodeId(20)).unwrap() += 1;
+        assert_eq!(s.get(NodeId(20)), Some(&201));
+        assert_eq!(s.remove(NodeId(10)), Some(100));
+        assert_eq!(s.get(NodeId(10)), None);
+        assert_eq!(s.remove(NodeId(10)), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces_same_addr() {
+        let mut s: NodeSlab<u32> = NodeSlab::new();
+        let (k1, _) = s.insert(NodeId(1), 1);
+        let (k2, old) = s.insert(NodeId(1), 2);
+        assert_eq!(old, Some(1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(NodeId(1)), Some(&2));
+        // the replaced occupant's key must not alias the new one
+        assert_eq!(s.get_key(k1), None, "stale key after replacement");
+        assert_eq!(s.get_key(k2), Some(&2));
+    }
+
+    #[test]
+    fn slots_are_reused_densely() {
+        let mut s: NodeSlab<u32> = NodeSlab::new();
+        for i in 0..8u64 {
+            s.insert(NodeId(i), i as u32);
+        }
+        for i in 0..4u64 {
+            s.remove(NodeId(i));
+        }
+        // churn back in: the freed slots are reused, no growth
+        for i in 0..4u64 {
+            s.insert(NodeId(100 + i), 0);
+        }
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.slots.len(), 8, "freed slots must be reused");
+    }
+
+    #[test]
+    fn stale_keys_never_alias() {
+        let mut s: NodeSlab<u32> = NodeSlab::new();
+        let (k1, _) = s.insert(NodeId(1), 11);
+        assert_eq!(s.get_key(k1), Some(&11));
+        s.remove(NodeId(1));
+        assert_eq!(s.get_key(k1), None, "freed slot");
+        // reuse the slot for another node: the old key must stay dead
+        s.insert(NodeId(2), 22);
+        assert_eq!(s.get_key(k1), None, "reused slot, stale generation");
+        let k2 = s.key_of(NodeId(2)).unwrap();
+        assert_eq!(s.get_key(k2), Some(&22));
+    }
+
+    #[test]
+    fn take_restore_roundtrip() {
+        let mut s: NodeSlab<String> = NodeSlab::new();
+        s.insert(NodeId(5), "five".to_string());
+        let (key, mut v) = s.take(NodeId(5)).unwrap();
+        assert!(s.take(NodeId(5)).is_none(), "already taken");
+        assert!(s.contains(NodeId(5)), "slot stays reserved while taken");
+        v.push('!');
+        s.restore(NodeId(5), key, v);
+        assert_eq!(s.get(NodeId(5)).map(String::as_str), Some("five!"));
+    }
+
+    #[test]
+    #[should_panic(expected = "restore into a slot that was not reserved")]
+    fn restore_into_reused_slot_panics() {
+        let mut s: NodeSlab<u32> = NodeSlab::new();
+        s.insert(NodeId(1), 1);
+        let (key, _) = s.take(NodeId(1)).unwrap();
+        s.restore(NodeId(1), key, 1);
+        s.remove(NodeId(1));
+        s.insert(NodeId(2), 2); // reuses the slot, new generation
+        s.restore(NodeId(1), key, 9);
+    }
+
+    #[test]
+    fn iteration_is_deterministic_slot_order() {
+        let mut s: NodeSlab<u32> = NodeSlab::new();
+        for i in [5u64, 3, 9, 1] {
+            s.insert(NodeId(i), i as u32);
+        }
+        s.remove(NodeId(3));
+        s.insert(NodeId(7), 7); // reuses node 3's slot
+        let order: Vec<u64> = s.addrs().map(|a| a.0).collect();
+        assert_eq!(order, vec![5, 7, 9, 1]);
+    }
+}

@@ -6,14 +6,20 @@
 //! simulator in `octopus-core::simnet`) interleave churn and measurement
 //! with protocol execution without borrowing conflicts: [`World::step`]
 //! returns control events to the caller instead of invoking callbacks.
-
-use std::collections::HashMap;
+//!
+//! Storage and dispatch are built for scale: nodes (with their RNG
+//! streams) live in a generational [`NodeSlab`], so delivering an event
+//! costs one address lookup plus an `O(1)` slot take/restore instead of
+//! four hash-map operations, and the per-event outbox/timer/control
+//! buffers a [`Ctx`] writes into are pooled and reused instead of
+//! allocated per event.
 
 use octopus_id::NodeId;
-use octopus_sim::{derive_rng, Duration, EventQueue, SimTime};
+use octopus_sim::{derive_rng, Duration, EventQueue, SchedulerKind, SimTime};
 use rand::rngs::StdRng;
 
 use crate::latency::LatencyModel;
+use crate::slab::NodeSlab;
 use crate::wire::{BandwidthLedger, WireMsg};
 
 /// Overlay address. Octopus identifies peers by ring id; the simulated
@@ -53,13 +59,16 @@ pub trait NodeBehavior {
 
 /// Handler context: lets a node send messages, set timers, emit control
 /// events, and draw randomness — all without direct access to the world.
+///
+/// The buffers behind a `Ctx` are owned by the world's buffer pool and
+/// reused across events; handlers only ever see them empty.
 pub struct Ctx<'a, M, T, C> {
     now: SimTime,
     self_addr: Addr,
     rng: &'a mut StdRng,
-    outbox: Vec<(Addr, M, Duration)>,
-    timers: Vec<(Duration, T)>,
-    controls: Vec<C>,
+    outbox: &'a mut Vec<(Addr, M, Duration)>,
+    timers: &'a mut Vec<(Duration, T)>,
+    controls: &'a mut Vec<C>,
 }
 
 impl<M, T, C> Ctx<'_, M, T, C> {
@@ -120,11 +129,35 @@ pub enum StepOutcome<C> {
     Idle,
 }
 
+/// A hosted node plus its deterministic RNG stream, colocated in one
+/// slab slot so event dispatch touches a single entry.
+struct Hosted<B> {
+    node: B,
+    rng: StdRng,
+}
+
+/// Reusable per-event scratch buffers (the backing store of [`Ctx`]).
+struct BufferPool<M, T, C> {
+    outbox: Vec<(Addr, M, Duration)>,
+    timers: Vec<(Duration, T)>,
+    controls: Vec<C>,
+}
+
+impl<M, T, C> Default for BufferPool<M, T, C> {
+    fn default() -> Self {
+        BufferPool {
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            controls: Vec::new(),
+        }
+    }
+}
+
 /// The simulated network world.
 pub struct World<B: NodeBehavior, L: LatencyModel> {
-    nodes: HashMap<Addr, B>,
-    rngs: HashMap<Addr, StdRng>,
+    nodes: NodeSlab<Hosted<B>>,
     queue: EventQueue<Event<B::Msg, B::Timer, B::Control>>,
+    pool: BufferPool<B::Msg, B::Timer, B::Control>,
     latency: L,
     ledger: BandwidthLedger,
     master_seed: u64,
@@ -133,13 +166,22 @@ pub struct World<B: NodeBehavior, L: LatencyModel> {
 }
 
 impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
-    /// New world with the given latency model and master seed.
+    /// New world with the given latency model and master seed, on the
+    /// default event-queue backend.
     #[must_use]
     pub fn new(latency: L, master_seed: u64) -> Self {
+        Self::with_scheduler(latency, master_seed, SchedulerKind::default())
+    }
+
+    /// New world on an explicit event-queue backend. All backends are
+    /// observationally identical (the [`octopus_sim::Scheduler`]
+    /// determinism contract); they differ only in speed.
+    #[must_use]
+    pub fn with_scheduler(latency: L, master_seed: u64, scheduler: SchedulerKind) -> Self {
         World {
-            nodes: HashMap::new(),
-            rngs: HashMap::new(),
-            queue: EventQueue::new(),
+            nodes: NodeSlab::new(),
+            queue: EventQueue::with_scheduler(scheduler),
+            pool: BufferPool::default(),
             latency,
             ledger: BandwidthLedger::new(),
             master_seed,
@@ -180,58 +222,38 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     /// Is `addr` currently alive in the world?
     #[must_use]
     pub fn is_alive(&self, addr: Addr) -> bool {
-        self.nodes.contains_key(&addr)
+        self.nodes.contains(addr)
     }
 
-    /// Iterate over live node addresses.
+    /// Iterate over live node addresses (deterministic slot order).
     pub fn addrs(&self) -> impl Iterator<Item = Addr> + '_ {
-        self.nodes.keys().copied()
+        self.nodes.addrs()
     }
 
     /// Immutable access to a node's state (driver-side measurement).
     #[must_use]
     pub fn node(&self, addr: Addr) -> Option<&B> {
-        self.nodes.get(&addr)
+        self.nodes.get(addr).map(|h| &h.node)
     }
 
     /// Mutable access to a node's state (driver-side mutation between
     /// steps; protocol code should use messages instead).
     pub fn node_mut(&mut self, addr: Addr) -> Option<&mut B> {
-        self.nodes.get_mut(&addr)
+        self.nodes.get_mut(addr).map(|h| &mut h.node)
     }
 
     /// Insert a node and run its `on_start` hook.
     pub fn insert_node(&mut self, addr: Addr, node: B) {
-        let mut rng = derive_rng(self.master_seed, b"node", addr.0);
-        let mut node = node;
-        let mut ctx = Ctx {
-            now: self.queue.now(),
-            self_addr: addr,
-            rng: &mut rng,
-            outbox: Vec::new(),
-            timers: Vec::new(),
-            controls: Vec::new(),
-        };
-        node.on_start(&mut ctx);
-        let Ctx {
-            outbox,
-            timers,
-            controls,
-            ..
-        } = ctx;
-        self.nodes.insert(addr, node);
-        self.rngs.insert(addr, rng);
-        self.flush(addr, outbox, timers);
-        for c in controls {
-            self.queue.push(self.queue.now(), Event::Control(c));
-        }
+        let rng = derive_rng(self.master_seed, b"node", addr.0);
+        let mut hosted = Hosted { node, rng };
+        self.dispatch(addr, &mut hosted, |node, ctx| node.on_start(ctx));
+        self.nodes.insert(addr, hosted);
     }
 
     /// Remove a node (churn). Its pending timers and in-flight messages
     /// to it are silently dropped, as for a crashed peer.
     pub fn remove_node(&mut self, addr: Addr) -> Option<B> {
-        self.rngs.remove(&addr);
-        self.nodes.remove(&addr)
+        self.nodes.remove(addr).map(|h| h.node)
     }
 
     /// Driver-side: schedule a control event at absolute time `at`.
@@ -252,32 +274,72 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     where
         F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
     {
-        let Some(mut node) = self.nodes.remove(&addr) else {
+        let Some((key, mut hosted)) = self.nodes.take(addr) else {
             return false;
         };
-        let mut rng = self.rngs.remove(&addr).expect("rng exists for node");
+        self.dispatch(addr, &mut hosted, f);
+        self.nodes.restore(addr, key, hosted);
+        true
+    }
+
+    /// Run `f` against `hosted` with a pooled context, then flush what
+    /// it produced (messages, timers, controls) into the queue.
+    fn dispatch<F>(&mut self, addr: Addr, hosted: &mut Hosted<B>, f: F)
+    where
+        F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
+    {
+        let controls = self.dispatch_buffered(addr, hosted, f);
+        if let Some(mut controls) = controls {
+            let now = self.queue.now();
+            for c in controls.drain(..) {
+                self.queue.push(now, Event::Control(c));
+            }
+            self.pool.controls = controls;
+        }
+    }
+
+    /// Core of event dispatch: run `f`, flush messages and timers, and
+    /// hand back the control buffer — `None` when no controls were
+    /// emitted (the pooled buffer was returned untouched), `Some(vec)`
+    /// when the caller now owns the drained-or-forwarded buffer.
+    fn dispatch_buffered<F>(
+        &mut self,
+        addr: Addr,
+        hosted: &mut Hosted<B>,
+        f: F,
+    ) -> Option<Vec<B::Control>>
+    where
+        F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
+    {
+        let mut outbox = std::mem::take(&mut self.pool.outbox);
+        let mut timers = std::mem::take(&mut self.pool.timers);
+        let mut controls = std::mem::take(&mut self.pool.controls);
+        debug_assert!(outbox.is_empty() && timers.is_empty() && controls.is_empty());
         let mut ctx = Ctx {
             now: self.queue.now(),
             self_addr: addr,
-            rng: &mut rng,
-            outbox: Vec::new(),
-            timers: Vec::new(),
-            controls: Vec::new(),
+            rng: &mut hosted.rng,
+            outbox: &mut outbox,
+            timers: &mut timers,
+            controls: &mut controls,
         };
-        f(&mut node, &mut ctx);
-        let Ctx {
-            outbox,
-            timers,
-            controls,
-            ..
-        } = ctx;
-        self.nodes.insert(addr, node);
-        self.rngs.insert(addr, rng);
-        self.flush(addr, outbox, timers);
-        for c in controls {
-            self.queue.push(self.queue.now(), Event::Control(c));
+        f(&mut hosted.node, &mut ctx);
+        for (to, msg, extra) in outbox.drain(..) {
+            self.route(addr, to, msg, extra);
         }
-        true
+        let now = self.queue.now();
+        for (delay, timer) in timers.drain(..) {
+            self.queue
+                .push(now + delay, Event::Timer { node: addr, timer });
+        }
+        self.pool.outbox = outbox;
+        self.pool.timers = timers;
+        if controls.is_empty() {
+            self.pool.controls = controls;
+            None
+        } else {
+            Some(controls)
+        }
     }
 
     fn route(&mut self, from: Addr, to: Addr, msg: B::Msg, extra: Duration) {
@@ -286,21 +348,6 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         let lat = self.latency.sample(from, to, &mut self.transport_rng);
         let at = self.queue.now() + extra + lat;
         self.queue.push(at, Event::Deliver { from, to, msg });
-    }
-
-    fn flush(
-        &mut self,
-        from: Addr,
-        outbox: Vec<(Addr, B::Msg, Duration)>,
-        timers: Vec<(Duration, B::Timer)>,
-    ) {
-        for (to, msg, extra) in outbox {
-            self.route(from, to, msg, extra);
-        }
-        for (delay, timer) in timers {
-            self.queue
-                .push(self.queue.now() + delay, Event::Timer { node: from, timer });
-        }
     }
 
     /// Process the next event. Returns what happened so the driver can
@@ -313,61 +360,29 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
             match ev {
                 Event::Control(c) => return StepOutcome::Control(c),
                 Event::Deliver { from, to, msg } => {
-                    let Some(mut node) = self.nodes.remove(&to) else {
+                    let Some((key, mut hosted)) = self.nodes.take(to) else {
                         self.dropped_to_dead += 1;
                         continue;
                     };
-                    let mut rng = self.rngs.remove(&to).expect("rng exists");
-                    let mut ctx = Ctx {
-                        now: self.queue.now(),
-                        self_addr: to,
-                        rng: &mut rng,
-                        outbox: Vec::new(),
-                        timers: Vec::new(),
-                        controls: Vec::new(),
-                    };
-                    node.on_message(&mut ctx, from, msg);
-                    let Ctx {
-                        outbox,
-                        timers,
-                        controls,
-                        ..
-                    } = ctx;
-                    self.nodes.insert(to, node);
-                    self.rngs.insert(to, rng);
-                    self.flush(to, outbox, timers);
-                    if controls.is_empty() {
-                        continue;
+                    let controls = self.dispatch_buffered(to, &mut hosted, |node, ctx| {
+                        node.on_message(ctx, from, msg);
+                    });
+                    self.nodes.restore(to, key, hosted);
+                    if let Some(controls) = controls {
+                        return StepOutcome::Protocol(controls);
                     }
-                    return StepOutcome::Protocol(controls);
                 }
                 Event::Timer { node: addr, timer } => {
-                    let Some(mut node) = self.nodes.remove(&addr) else {
+                    let Some((key, mut hosted)) = self.nodes.take(addr) else {
                         continue; // timer of a dead node
                     };
-                    let mut rng = self.rngs.remove(&addr).expect("rng exists");
-                    let mut ctx = Ctx {
-                        now: self.queue.now(),
-                        self_addr: addr,
-                        rng: &mut rng,
-                        outbox: Vec::new(),
-                        timers: Vec::new(),
-                        controls: Vec::new(),
-                    };
-                    node.on_timer(&mut ctx, timer);
-                    let Ctx {
-                        outbox,
-                        timers,
-                        controls,
-                        ..
-                    } = ctx;
-                    self.nodes.insert(addr, node);
-                    self.rngs.insert(addr, rng);
-                    self.flush(addr, outbox, timers);
-                    if controls.is_empty() {
-                        continue;
+                    let controls = self.dispatch_buffered(addr, &mut hosted, |node, ctx| {
+                        node.on_timer(ctx, timer);
+                    });
+                    self.nodes.restore(addr, key, hosted);
+                    if let Some(controls) = controls {
+                        return StepOutcome::Protocol(controls);
                     }
-                    return StepOutcome::Protocol(controls);
                 }
             }
         }
@@ -377,7 +392,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     /// emitted control events tagged with their emission time.
     pub fn run_until(&mut self, deadline: SimTime) -> Vec<(SimTime, B::Control)> {
         let mut out = Vec::new();
-        while self.queue.next_time().is_some_and(|t| t <= deadline) {
+        while self.queue.peek_time().is_some_and(|t| t <= deadline) {
             match self.step() {
                 StepOutcome::Idle => break,
                 StepOutcome::Control(c) => out.push((self.now(), c)),
@@ -551,5 +566,33 @@ mod tests {
         w.remove_node(NodeId(1));
         let ctrl = w.run_until(SimTime::from_secs(5));
         assert!(ctrl.is_empty());
+    }
+
+    #[test]
+    fn identical_on_both_scheduler_backends() {
+        let run = |kind: SchedulerKind| {
+            let mut w: World<PingPong, _> =
+                World::with_scheduler(ConstantLatency(Duration::from_millis(7)), 3, kind);
+            w.insert_node(
+                NodeId(2),
+                PingPong {
+                    pongs: 0,
+                    peer: Some(NodeId(1)),
+                },
+            );
+            w.insert_node(
+                NodeId(1),
+                PingPong {
+                    pongs: 0,
+                    peer: Some(NodeId(2)),
+                },
+            );
+            w.schedule_control(SimTime::from_millis(9), 7);
+            w.run_until(SimTime::from_secs(1))
+        };
+        assert_eq!(
+            run(SchedulerKind::BinaryHeap),
+            run(SchedulerKind::TimingWheel)
+        );
     }
 }

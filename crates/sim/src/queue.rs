@@ -1,47 +1,49 @@
 //! The time-ordered event queue at the heart of the simulator.
+//!
+//! [`EventQueue`] owns the simulation clock and the monotone insertion
+//! sequence; storage and ordering are delegated to a pluggable
+//! [`Scheduler`] backend chosen via [`SchedulerKind`] (or any custom
+//! implementation through [`EventQueue::from_backend`]).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::fmt;
 
+use crate::sched::{BinaryHeapScheduler, Scheduler, SchedulerKind, TimingWheel};
 use crate::time::SimTime;
 
 /// A deterministic priority queue of `(SimTime, E)` events.
 ///
-/// Ties at the same instant pop in insertion order, which keeps
-/// simulations reproducible regardless of heap internals.
-#[derive(Debug)]
+/// Ties at the same instant pop in insertion order — part of the
+/// [`Scheduler`] contract — which keeps simulations reproducible
+/// regardless of backend internals.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     seq: u64,
     now: SimTime,
 }
 
-#[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+/// Static dispatch over the built-in backends; `Custom` boxes anything
+/// else implementing the trait.
+enum Backend<E> {
+    Heap(BinaryHeapScheduler<E>),
+    Wheel(TimingWheel<E>),
+    Custom(Box<dyn Scheduler<E> + Send>),
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<E> Backend<E> {
+    fn as_scheduler(&self) -> &dyn Scheduler<E> {
+        match self {
+            Backend::Heap(s) => s,
+            Backend::Wheel(s) => s,
+            Backend::Custom(s) => s.as_ref(),
+        }
     }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert so earliest time pops first,
-        // and lower sequence number wins ties.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+    fn as_scheduler_mut(&mut self) -> &mut dyn Scheduler<E> {
+        match self {
+            Backend::Heap(s) => s,
+            Backend::Wheel(s) => s,
+            Backend::Custom(s) => s.as_mut(),
+        }
     }
 }
 
@@ -51,14 +53,55 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("backend", &self.backend_name())
+            .field("len", &self.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
 impl<E> EventQueue<E> {
-    /// An empty queue at time zero.
+    /// An empty queue at time zero on the default backend
+    /// ([`SchedulerKind::TimingWheel`]).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_scheduler(SchedulerKind::default())
+    }
+
+    /// An empty queue at time zero on the chosen backend.
+    #[must_use]
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
+        let backend = match kind {
+            SchedulerKind::BinaryHeap => Backend::Heap(BinaryHeapScheduler::new()),
+            SchedulerKind::TimingWheel => Backend::Wheel(TimingWheel::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             seq: 0,
             now: SimTime::ZERO,
+        }
+    }
+
+    /// An empty queue over a caller-supplied [`Scheduler`] backend.
+    #[must_use]
+    pub fn from_backend<S: Scheduler<E> + Send + 'static>(backend: S) -> Self {
+        EventQueue {
+            backend: Backend::Custom(Box::new(backend)),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The backend's stable name (for logs and benches).
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            Backend::Heap(_) => SchedulerKind::BinaryHeap.name(),
+            Backend::Wheel(_) => SchedulerKind::TimingWheel.name(),
+            Backend::Custom(_) => "custom",
         }
     }
 
@@ -73,25 +116,30 @@ impl<E> EventQueue<E> {
             "cannot schedule into the past ({at:?} < {:?})",
             self.now
         );
-        self.heap.push(Entry {
-            time: at,
-            seq: self.seq,
-            event,
-        });
+        let seq = self.seq;
         self.seq += 1;
+        match &mut self.backend {
+            Backend::Heap(s) => s.schedule(at, seq, event),
+            Backend::Wheel(s) => s.schedule(at, seq, event),
+            Backend::Custom(s) => s.schedule(at, seq, event),
+        }
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let e = self.heap.pop()?;
-        self.now = e.time;
-        Some((e.time, e.event))
+        let (t, e) = match &mut self.backend {
+            Backend::Heap(s) => s.pop_next(),
+            Backend::Wheel(s) => s.pop_next(),
+            Backend::Custom(s) => s.pop_next(),
+        }?;
+        self.now = t;
+        Some((t, e))
     }
 
     /// Peek at the next event time without popping.
     #[must_use]
-    pub fn next_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.backend.as_scheduler().peek_time()
     }
 
     /// Current simulation time (timestamp of the last popped event).
@@ -103,18 +151,18 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.backend.as_scheduler().len()
     }
 
     /// True when no events remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.backend.as_scheduler().is_empty()
     }
 
     /// Discard all pending events (used at simulation shutdown).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.backend.as_scheduler_mut().clear();
     }
 }
 
@@ -123,37 +171,47 @@ mod tests {
     use super::*;
     use crate::time::Duration;
 
+    fn all_kinds() -> [SchedulerKind; 2] {
+        [SchedulerKind::BinaryHeap, SchedulerKind::TimingWheel]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(3), "c");
-        q.push(SimTime::from_secs(1), "a");
-        q.push(SimTime::from_secs(2), "b");
-        assert_eq!(q.pop().unwrap().1, "a");
-        assert_eq!(q.pop().unwrap().1, "b");
-        assert_eq!(q.pop().unwrap().1, "c");
-        assert!(q.pop().is_none());
+        for kind in all_kinds() {
+            let mut q = EventQueue::with_scheduler(kind);
+            q.push(SimTime::from_secs(3), "c");
+            q.push(SimTime::from_secs(1), "a");
+            q.push(SimTime::from_secs(2), "b");
+            assert_eq!(q.pop().unwrap().1, "a");
+            assert_eq!(q.pop().unwrap().1, "b");
+            assert_eq!(q.pop().unwrap().1, "c");
+            assert!(q.pop().is_none());
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(1);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop().unwrap().1, i);
+        for kind in all_kinds() {
+            let mut q = EventQueue::with_scheduler(kind);
+            let t = SimTime::from_secs(1);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop().unwrap().1, i);
+            }
         }
     }
 
     #[test]
     fn clock_advances() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(5), ());
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_secs(5));
+        for kind in all_kinds() {
+            let mut q = EventQueue::with_scheduler(kind);
+            q.push(SimTime::from_secs(5), ());
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_secs(5));
+        }
     }
 
     #[test]
@@ -167,34 +225,68 @@ mod tests {
 
     #[test]
     fn scheduling_at_now_is_allowed() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(5), 1);
-        q.pop();
-        q.push(q.now(), 2); // zero-delay self-message
-        assert_eq!(q.pop().unwrap().1, 2);
+        for kind in all_kinds() {
+            let mut q = EventQueue::with_scheduler(kind);
+            q.push(SimTime::from_secs(5), 1);
+            q.pop();
+            q.push(q.now(), 2); // zero-delay self-message
+            assert_eq!(q.pop().unwrap().1, 2);
+        }
     }
 
     #[test]
     fn interleaved_push_pop() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(1), 1);
-        q.push(SimTime::from_secs(10), 10);
-        let (t, v) = q.pop().unwrap();
-        assert_eq!(v, 1);
-        q.push(t + Duration::from_secs(2), 3);
-        assert_eq!(q.pop().unwrap().1, 3);
-        assert_eq!(q.pop().unwrap().1, 10);
-        assert!(q.is_empty());
+        for kind in all_kinds() {
+            let mut q = EventQueue::with_scheduler(kind);
+            q.push(SimTime::from_secs(1), 1);
+            q.push(SimTime::from_secs(10), 10);
+            let (t, v) = q.pop().unwrap();
+            assert_eq!(v, 1);
+            q.push(t + Duration::from_secs(2), 3);
+            assert_eq!(q.pop().unwrap().1, 3);
+            assert_eq!(q.pop().unwrap().1, 10);
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
     fn len_and_clear() {
-        let mut q = EventQueue::new();
-        for i in 0..5 {
-            q.push(SimTime::from_secs(i), i);
+        for kind in all_kinds() {
+            let mut q = EventQueue::with_scheduler(kind);
+            for i in 0..5 {
+                q.push(SimTime::from_secs(i), i);
+            }
+            assert_eq!(q.len(), 5);
+            q.clear();
+            assert!(q.is_empty());
         }
-        assert_eq!(q.len(), 5);
-        q.clear();
-        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        for kind in all_kinds() {
+            let mut q = EventQueue::with_scheduler(kind);
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_millis(7), 1);
+            q.push(SimTime::from_millis(3), 2);
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, SimTime::from_millis(3));
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        }
+    }
+
+    #[test]
+    fn custom_backend_plugs_in() {
+        let mut q = EventQueue::from_backend(crate::sched::BinaryHeapScheduler::new());
+        assert_eq!(q.backend_name(), "custom");
+        q.push(SimTime::from_secs(1), 9);
+        assert_eq!(q.pop().unwrap().1, 9);
+    }
+
+    #[test]
+    fn default_backend_is_the_wheel() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.backend_name(), "timing-wheel");
     }
 }

@@ -1,0 +1,609 @@
+//! Pluggable event-queue backends.
+//!
+//! [`EventQueue`](crate::EventQueue) delegates storage and ordering to a
+//! [`Scheduler`] implementation. Two backends ship with the engine:
+//!
+//! * [`BinaryHeapScheduler`] — a classic `O(log n)` priority heap; the
+//!   reference implementation and the right choice for sparse or highly
+//!   irregular workloads.
+//! * [`TimingWheel`] — a hierarchical timing wheel with `O(1)` insertion.
+//!   Simulation workloads are dominated by short periodic timers
+//!   (stabilize / finger / surveillance / walk) and latency-bounded
+//!   message deliveries, which land in the lowest wheel levels and make
+//!   this backend substantially faster than the heap at scale.
+//!
+//! # Determinism contract
+//!
+//! Every backend MUST pop events in ascending `(time, seq)` order, where
+//! `seq` is the monotonically increasing insertion sequence number the
+//! queue assigns. Ties at the same timestamp therefore pop in insertion
+//! (FIFO) order. This contract is what makes simulations byte-for-byte
+//! reproducible regardless of the backend chosen; the cross-backend
+//! regression tests in `tests/scheduler_equivalence.rs` enforce it.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered event store: the backend of an
+/// [`EventQueue`](crate::EventQueue).
+///
+/// Implementations must honour the determinism contract documented at the
+/// [module level](self): events pop in ascending `(time, seq)` order.
+pub trait Scheduler<E> {
+    /// Store `event` at `time` with insertion sequence number `seq`.
+    ///
+    /// The caller guarantees `seq` is strictly increasing across calls
+    /// and `time` is never earlier than the last popped time.
+    fn schedule(&mut self, time: SimTime, seq: u64, event: E);
+
+    /// Remove and return the earliest `(time, event)` pair, breaking
+    /// timestamp ties by insertion order.
+    fn pop_next(&mut self) -> Option<(SimTime, E)>;
+
+    /// The timestamp of the next event without removing it.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of stored events.
+    fn len(&self) -> usize;
+
+    /// True when no events are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard all stored events.
+    fn clear(&mut self);
+}
+
+/// Which [`Scheduler`] backend an [`EventQueue`](crate::EventQueue) uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// [`BinaryHeapScheduler`]: `O(log n)` reference backend.
+    BinaryHeap,
+    /// [`TimingWheel`]: `O(1)`-insert hierarchical wheel (the default).
+    #[default]
+    TimingWheel,
+}
+
+impl SchedulerKind {
+    /// Short stable name (used by benches and CLI parsing).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::BinaryHeap => "binary-heap",
+            SchedulerKind::TimingWheel => "timing-wheel",
+        }
+    }
+
+    /// Parse a backend name as accepted by `OCTOPUS_SCHEDULER` and the
+    /// bench harness CLI (`binary-heap`/`heap`, `timing-wheel`/`wheel`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "binary-heap" | "heap" => Some(SchedulerKind::BinaryHeap),
+            "timing-wheel" | "wheel" => Some(SchedulerKind::TimingWheel),
+            _ => None,
+        }
+    }
+}
+
+/// An event plus its total-order key.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> Entry<E> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest time pops
+        // first and the lower sequence number wins ties.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// The `O(log n)` reference backend: a binary max-heap over inverted
+/// `(time, seq)` keys.
+#[derive(Debug)]
+pub struct BinaryHeapScheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Default for BinaryHeapScheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BinaryHeapScheduler<E> {
+    /// An empty heap.
+    #[must_use]
+    pub fn new() -> Self {
+        BinaryHeapScheduler {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<E> Scheduler<E> for BinaryHeapScheduler<E> {
+    fn schedule(&mut self, time: SimTime, seq: u64, event: E) {
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    fn pop_next(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+// --- hierarchical timing wheel -----------------------------------------
+
+/// Bits per wheel level: 64 slots per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Bitmap mask over one level's slot indices.
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Number of wheel levels.
+const LEVELS: usize = 6;
+/// One tick is 2^TICK_BITS microseconds (≈ 8 ms). Coarse enough that a
+/// busy simulation puts a batch of events in each level-0 slot (one
+/// slot sort amortizes over the batch, and typical WAN latencies land
+/// directly in level 0), fine enough that slot sorts stay tiny.
+const TICK_BITS: u32 = 13;
+/// Ticks covered by the whole wheel; events further out overflow to a
+/// fallback heap and migrate in as the cursor approaches.
+const HORIZON_TICKS: u64 = 1 << (LEVEL_BITS * LEVELS as u32);
+
+/// One wheel level: 64 slots of unsorted entries plus an occupancy
+/// bitmap for constant-time next-slot scans.
+#[derive(Debug)]
+struct Level<E> {
+    slots: Vec<Vec<Entry<E>>>,
+    occupied: u64,
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: 0,
+        }
+    }
+}
+
+/// The `O(1)`-insert hierarchical timing wheel backend.
+///
+/// Time is bucketed into ≈ 8 ms ticks. Level `l` has 64 slots spanning
+/// `64^l` ticks each, so the six levels cover ≈ 17 simulated years;
+/// rarer events beyond the horizon wait in a small fallback heap. An
+/// event is filed at the shallowest level whose slot span exceeds its
+/// delay; as the cursor reaches a coarse slot its contents cascade into
+/// finer levels, and a level-0 slot is drained into the sorted `ready`
+/// run from which `pop_next` serves. Sorting each drained slot by
+/// `(time, seq)` restores the exact total order the determinism contract
+/// requires — sub-tick timestamps included.
+#[derive(Debug)]
+pub struct TimingWheel<E> {
+    levels: Vec<Level<E>>,
+    /// Current wheel position in ticks. Invariant: every slot whose
+    /// start lies strictly before the cursor is empty.
+    cursor: u64,
+    /// Events due next, sorted *descending* by `(time, seq)` and served
+    /// from the tail, so a drained slot can be sorted in place and
+    /// swapped in without copying. Non-empty whenever `len > 0`
+    /// (maintained eagerly so `peek_time` is `O(1)`).
+    ready: Vec<Entry<E>>,
+    /// Events beyond the wheel horizon (min-heap via inverted `Ord`).
+    overflow: BinaryHeap<Entry<E>>,
+    len: usize,
+}
+
+impl<E> Default for TimingWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimingWheel<E> {
+    /// An empty wheel positioned at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        TimingWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            cursor: 0,
+            ready: Vec::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    fn tick_of(time: SimTime) -> u64 {
+        time.0 >> TICK_BITS
+    }
+
+    /// File `entry` into the structure appropriate for its delay:
+    /// `ready` when already due, a wheel slot inside the horizon, or the
+    /// overflow heap beyond it.
+    fn place(&mut self, entry: Entry<E>) {
+        let tick = Self::tick_of(entry.time);
+        if tick <= self.cursor {
+            // Already inside the drained region: merge into the
+            // descending ready run at the position its (time, seq) key
+            // demands. An event due soon sits near the tail, so the
+            // shift is short in the common case.
+            let key = entry.key();
+            let pos = self.ready.partition_point(|e| e.key() > key);
+            self.ready.insert(pos, entry);
+            return;
+        }
+        let delta = tick - self.cursor;
+        if delta >= HORIZON_TICKS {
+            self.overflow.push(entry);
+            return;
+        }
+        let level = (63 - delta.leading_zeros()) as usize / LEVEL_BITS as usize;
+        let idx = ((tick >> (LEVEL_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.levels[level].slots[idx].push(entry);
+        self.levels[level].occupied |= 1 << idx;
+    }
+
+    /// Earliest slot-start tick (≥ cursor) of any occupied slot at
+    /// `level`, accounting for wrap-around into the next rotation.
+    fn next_occupied_tick(&self, level: usize) -> Option<u64> {
+        let occ = self.levels[level].occupied;
+        if occ == 0 {
+            return None;
+        }
+        let shift = LEVEL_BITS * level as u32;
+        let span = 1u64 << shift; // ticks per slot
+        let rotation = span << LEVEL_BITS; // ticks per full rotation
+        let cur_idx = (self.cursor >> shift) & SLOT_MASK;
+        let block = self.cursor & !(rotation - 1);
+        let at_slot_start = self.cursor == block + cur_idx * span;
+        // Bits at or above the cursor index belong to the current
+        // rotation — except the cursor's own slot, which can only hold
+        // next-rotation events once the cursor has moved past its start.
+        let mut current = occ & (!0u64 << cur_idx);
+        let mut wrapped = occ & !(!0u64 << cur_idx);
+        if !at_slot_start {
+            wrapped |= occ & (1 << cur_idx);
+            current &= !(1 << cur_idx);
+        }
+        if current != 0 {
+            Some(block + u64::from(current.trailing_zeros()) * span)
+        } else {
+            Some(block + rotation + u64::from(wrapped.trailing_zeros()) * span)
+        }
+    }
+
+    /// Advance the cursor to the earliest pending tick and drain
+    /// everything due there into `ready` (no-op when already non-empty
+    /// or drained).
+    fn ensure_ready(&mut self) {
+        while self.ready.is_empty() && self.len > 0 {
+            let mut best_tick = u64::MAX;
+            for level in 0..LEVELS {
+                if let Some(t) = self.next_occupied_tick(level) {
+                    best_tick = best_tick.min(t);
+                }
+            }
+            if let Some(top) = self.overflow.peek() {
+                best_tick = best_tick.min(Self::tick_of(top.time));
+            }
+            debug_assert!(best_tick != u64::MAX, "len > 0 but no events stored");
+            debug_assert!(best_tick >= self.cursor, "wheel cursor moved backwards");
+            self.cursor = best_tick;
+            self.drain_due_at_cursor();
+        }
+    }
+
+    /// Drain every source that is due exactly at the cursor tick —
+    /// overflow entries, coarse slots starting here (cascaded fine-ward)
+    /// and the level-0 slot — into one sorted `ready` run. Handling all
+    /// sources of the tick together is what keeps same-timestamp events
+    /// from different levels in global `(time, seq)` order.
+    fn drain_due_at_cursor(&mut self) {
+        debug_assert!(self.ready.is_empty());
+        while let Some(top) = self.overflow.peek() {
+            if Self::tick_of(top.time) == self.cursor {
+                let e = self.overflow.pop().expect("peeked entry exists");
+                self.ready.push(e);
+            } else {
+                break;
+            }
+        }
+        // Coarse before fine: a cascading level may refill the slot a
+        // finer level is about to visit at this same tick.
+        for level in (1..LEVELS).rev() {
+            let shift = LEVEL_BITS * level as u32;
+            let span = 1u64 << shift;
+            if self.cursor & (span - 1) != 0 {
+                // the cursor is inside, not at the start of, this
+                // level's slot — nothing is due here
+                continue;
+            }
+            let idx = ((self.cursor >> shift) & SLOT_MASK) as usize;
+            if self.levels[level].occupied & (1 << idx) == 0 {
+                continue;
+            }
+            let mut batch = std::mem::take(&mut self.levels[level].slots[idx]);
+            self.levels[level].occupied &= !(1 << idx);
+            for e in batch.drain(..) {
+                if Self::tick_of(e.time) == self.cursor {
+                    self.ready.push(e);
+                } else {
+                    self.place(e);
+                }
+            }
+            self.levels[level].slots[idx] = batch; // keep capacity
+        }
+        let idx0 = (self.cursor & SLOT_MASK) as usize;
+        if self.levels[0].occupied & (1 << idx0) != 0 {
+            let mut batch = std::mem::take(&mut self.levels[0].slots[idx0]);
+            self.levels[0].occupied &= !(1 << idx0);
+            debug_assert!(batch.iter().all(|e| Self::tick_of(e.time) == self.cursor));
+            if self.ready.is_empty() {
+                // Common case: the whole tick lives in one level-0 slot.
+                // Sort it in place and swap it in — the emptied ready
+                // vec becomes the slot's fresh buffer. Zero copies.
+                batch.sort_unstable_by_key(|e| Reverse(e.key()));
+                std::mem::swap(&mut self.ready, &mut batch);
+            } else {
+                self.ready.append(&mut batch);
+                self.ready.sort_unstable_by_key(|e| Reverse(e.key()));
+            }
+            self.levels[0].slots[idx0] = batch;
+        } else {
+            self.ready.sort_unstable_by_key(|e| Reverse(e.key()));
+        }
+    }
+}
+
+impl<E> Scheduler<E> for TimingWheel<E> {
+    fn schedule(&mut self, time: SimTime, seq: u64, event: E) {
+        self.place(Entry { time, seq, event });
+        self.len += 1;
+        self.ensure_ready();
+    }
+
+    fn pop_next(&mut self) -> Option<(SimTime, E)> {
+        let e = self.ready.pop()?;
+        self.len -= 1;
+        self.ensure_ready();
+        Some((e.time, e.event))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.ready.last().map(|e| e.time)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        for level in &mut self.levels {
+            if level.occupied != 0 {
+                for slot in &mut level.slots {
+                    slot.clear();
+                }
+                level.occupied = 0;
+            }
+        }
+        self.ready.clear();
+        self.overflow.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn backends() -> Vec<(SchedulerKind, Box<dyn Scheduler<u64>>)> {
+        vec![
+            (
+                SchedulerKind::BinaryHeap,
+                Box::new(BinaryHeapScheduler::new()),
+            ),
+            (SchedulerKind::TimingWheel, Box::new(TimingWheel::new())),
+        ]
+    }
+
+    #[test]
+    fn both_backends_pop_in_time_then_seq_order() {
+        for (kind, mut s) in backends() {
+            s.schedule(SimTime::from_secs(3), 0, 30);
+            s.schedule(SimTime::from_secs(1), 1, 10);
+            s.schedule(SimTime::from_secs(1), 2, 11);
+            s.schedule(SimTime::from_secs(2), 3, 20);
+            let order: Vec<u64> = std::iter::from_fn(|| s.pop_next().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![10, 11, 20, 30], "backend {kind:?}");
+        }
+    }
+
+    #[test]
+    fn wheel_handles_sub_tick_ordering() {
+        // events inside the same ≈1 ms tick must still sort by exact time
+        let mut w = TimingWheel::new();
+        w.schedule(SimTime(500), 0, 2);
+        w.schedule(SimTime(100), 1, 1);
+        w.schedule(SimTime(900), 2, 3);
+        assert_eq!(w.pop_next(), Some((SimTime(100), 1)));
+        assert_eq!(w.pop_next(), Some((SimTime(500), 2)));
+        assert_eq!(w.pop_next(), Some((SimTime(900), 3)));
+    }
+
+    #[test]
+    fn wheel_cascades_across_levels() {
+        let mut w = TimingWheel::new();
+        // spread events across every level's range
+        let delays_s = [0u64, 1, 10, 60, 600, 3600, 86_400];
+        for (i, &d) in delays_s.iter().enumerate() {
+            w.schedule(SimTime::from_secs(d), i as u64, d);
+        }
+        let mut prev = None;
+        while let Some((t, d)) = w.pop_next() {
+            assert_eq!(t, SimTime::from_secs(d));
+            if let Some(p) = prev {
+                assert!(t >= p);
+            }
+            prev = Some(t);
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn wheel_overflow_beyond_horizon() {
+        let mut w = TimingWheel::new();
+        let far = SimTime((HORIZON_TICKS + 5) << TICK_BITS);
+        w.schedule(far, 0, 99);
+        w.schedule(SimTime::from_secs(1), 1, 1);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop_next().map(|(_, e)| e), Some(1));
+        assert_eq!(w.pop_next(), Some((far, 99)));
+        assert!(w.pop_next().is_none());
+    }
+
+    #[test]
+    fn wheel_push_behind_cursor_lands_in_ready_run() {
+        let mut w = TimingWheel::new();
+        w.schedule(SimTime::from_secs(10), 0, 100);
+        // the eager cursor has advanced to t=10s; an earlier event must
+        // still pop first
+        w.schedule(SimTime::from_secs(2), 1, 2);
+        w.schedule(SimTime::from_secs(2), 2, 3);
+        assert_eq!(w.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(w.pop_next().map(|(_, e)| e), Some(2));
+        assert_eq!(w.pop_next().map(|(_, e)| e), Some(3));
+        assert_eq!(w.pop_next().map(|(_, e)| e), Some(100));
+    }
+
+    #[test]
+    fn wheel_next_rotation_same_slot_index() {
+        // an event whose delta wraps to the cursor's own slot index in
+        // the next rotation must not be popped early
+        let mut w = TimingWheel::new();
+        let base = SimTime(65 << TICK_BITS); // cursor tick 65
+        w.schedule(base, 0, 0);
+        assert_eq!(w.pop_next().map(|(_, e)| e), Some(0));
+        let wrapped = SimTime((65 + 4095) << TICK_BITS); // level-1 slot idx 1, next rotation
+        let near = SimTime((65 + 100) << TICK_BITS);
+        w.schedule(wrapped, 1, 1);
+        w.schedule(near, 2, 2);
+        assert_eq!(w.pop_next(), Some((near, 2)));
+        assert_eq!(w.pop_next(), Some((wrapped, 1)));
+    }
+
+    #[test]
+    fn clear_resets_backends() {
+        for (kind, mut s) in backends() {
+            for i in 0..100 {
+                s.schedule(SimTime::from_millis(i * 7), i, i);
+            }
+            assert_eq!(s.len(), 100, "backend {kind:?}");
+            s.clear();
+            assert!(s.is_empty());
+            assert_eq!(s.peek_time(), None);
+            // reusable after clear
+            s.schedule(SimTime::from_secs(1000), 0, 1);
+            assert_eq!(s.pop_next().map(|(_, e)| e), Some(1));
+        }
+    }
+
+    #[test]
+    fn kind_parse_roundtrip() {
+        for kind in [SchedulerKind::BinaryHeap, SchedulerKind::TimingWheel] {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(
+            SchedulerKind::parse("heap"),
+            Some(SchedulerKind::BinaryHeap)
+        );
+        assert_eq!(
+            SchedulerKind::parse("wheel"),
+            Some(SchedulerKind::TimingWheel)
+        );
+        assert_eq!(SchedulerKind::parse("fifo"), None);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::TimingWheel);
+    }
+
+    #[test]
+    fn dense_periodic_workload_matches_heap() {
+        // a miniature of the paper workload: periodic timers re-armed on
+        // pop, plus message deliveries with pseudo-random latencies
+        let mut heap: BinaryHeapScheduler<u64> = BinaryHeapScheduler::new();
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut seq = 0u64;
+        let push = |h: &mut BinaryHeapScheduler<u64>,
+                    w: &mut TimingWheel<u64>,
+                    t: SimTime,
+                    s: &mut u64,
+                    e: u64| {
+            h.schedule(t, *s, e);
+            w.schedule(t, *s, e);
+            *s += 1;
+        };
+        for node in 0..50u64 {
+            push(&mut heap, &mut wheel, SimTime(node * 137), &mut seq, node);
+        }
+        let end = SimTime::from_secs(20);
+        loop {
+            let a = heap.pop_next();
+            let b = wheel.pop_next();
+            assert_eq!(
+                a.as_ref().map(|(t, e)| (*t, *e)),
+                b.as_ref().map(|(t, e)| (*t, *e))
+            );
+            let Some((t, e)) = a else { break };
+            // deliveries (payload >= 1000) terminate; timers re-arm and
+            // emit one delivery with a deterministic pseudo-latency
+            if t >= end || e >= 1000 {
+                continue;
+            }
+            let lat = crate::rng::split_seed(e, t.0) % 400_000; // < 400 ms
+            push(
+                &mut heap,
+                &mut wheel,
+                t + Duration::from_secs(2),
+                &mut seq,
+                e,
+            );
+            push(&mut heap, &mut wheel, t + Duration(lat), &mut seq, e + 1000);
+        }
+        assert!(heap.is_empty() && wheel.is_empty());
+    }
+}

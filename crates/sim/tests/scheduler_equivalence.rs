@@ -1,0 +1,74 @@
+//! Cross-backend determinism regression: every [`Scheduler`] backend
+//! must pop the exact same `(time, seq)` sequence for the same pushes —
+//! the contract that makes simulation results backend-independent.
+
+use octopus_sim::{derive_rng, Duration, EventQueue, SchedulerKind, SimTime};
+use rand::Rng;
+
+const KINDS: [SchedulerKind; 2] = [SchedulerKind::BinaryHeap, SchedulerKind::TimingWheel];
+
+/// Property-style: 10 000 random `(time, payload)` events, pushed in a
+/// random interleaving with pops, drain in an identical order from both
+/// backends.
+#[test]
+fn backends_pop_10k_random_events_identically() {
+    let mut traces: Vec<Vec<(SimTime, u64)>> = Vec::new();
+    for kind in KINDS {
+        let mut rng = derive_rng(0xC0FFEE, b"sched-prop", 0);
+        let mut q: EventQueue<u64> = EventQueue::with_scheduler(kind);
+        let mut trace = Vec::with_capacity(10_000);
+        let mut pushed = 0u64;
+        while pushed < 10_000 {
+            // bursts of pushes at random offsets ahead of `now`…
+            let burst = rng.gen_range(1..=8u64).min(10_000 - pushed);
+            for _ in 0..burst {
+                // heavy mass on short delays (timer/latency-like), a
+                // long tail out to minutes, plus exact ties at `now`
+                let micros = match rng.gen_range(0..10) {
+                    0 => 0,
+                    1..=6 => rng.gen_range(0..2_000_000),
+                    7 | 8 => rng.gen_range(0..30_000_000),
+                    _ => rng.gen_range(0..600_000_000),
+                };
+                q.push(q.now() + Duration(micros), pushed);
+                pushed += 1;
+            }
+            // …interleaved with a few pops so the clock advances
+            for _ in 0..rng.gen_range(0..4) {
+                if let Some(ev) = q.pop() {
+                    trace.push(ev);
+                }
+            }
+        }
+        while let Some(ev) = q.pop() {
+            trace.push(ev);
+        }
+        assert_eq!(trace.len(), 10_000, "{kind:?} lost events");
+        traces.push(trace);
+    }
+    assert_eq!(
+        traces[0], traces[1],
+        "binary-heap and timing-wheel backends diverged"
+    );
+}
+
+/// The trace itself is well-ordered: ascending `(time, insertion order)`.
+#[test]
+fn popped_order_is_monotone_with_fifo_ties() {
+    for kind in KINDS {
+        let mut q: EventQueue<u64> = EventQueue::with_scheduler(kind);
+        let mut rng = derive_rng(7, b"sched-mono", 0);
+        for i in 0..5_000u64 {
+            // coarse timestamps force many exact ties
+            let t = SimTime::from_millis(rng.gen_range(0..50));
+            q.push(t, i);
+        }
+        let mut prev: Option<(SimTime, u64)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((pt, pi)) = prev {
+                assert!(t > pt || (t == pt && i > pi), "{kind:?} broke FIFO ties");
+            }
+            prev = Some((t, i));
+        }
+    }
+}

@@ -18,6 +18,7 @@ fn main() {
         seed: 1,
         octopus: OctopusConfig::for_network(n),
         lookups_enabled: true,
+        scheduler: Default::default(),
         ..SimConfig::default()
     };
     let report = SecuritySim::new(cfg).run();
