@@ -41,7 +41,7 @@ fn range_entropy(cfg: &AnonymityConfig, presim: &LookupPresim, observed: &[usize
     }
 }
 
-/// Chord [34] under a recursive lookup.
+/// Chord \[34\] under a recursive lookup.
 #[must_use]
 pub fn chord_entropies(cfg: &AnonymityConfig, presim: &LookupPresim) -> SchemeEntropies {
     let mut rng = derive_rng(cfg.seed, b"cmp-chord", 0);
@@ -76,7 +76,7 @@ pub fn chord_entropies(cfg: &AnonymityConfig, presim: &LookupPresim) -> SchemeEn
     }
 }
 
-/// NISAN [28].
+/// NISAN \[28\].
 #[must_use]
 pub fn nisan_entropies(cfg: &AnonymityConfig, presim: &LookupPresim) -> SchemeEntropies {
     let mut rng = derive_rng(cfg.seed, b"cmp-nisan", 0);
@@ -115,7 +115,7 @@ pub fn nisan_entropies(cfg: &AnonymityConfig, presim: &LookupPresim) -> SchemeEn
     }
 }
 
-/// Torsk [20].
+/// Torsk \[20\].
 #[must_use]
 pub fn torsk_entropies(cfg: &AnonymityConfig, presim: &LookupPresim) -> SchemeEntropies {
     let mut rng = derive_rng(cfg.seed, b"cmp-torsk", 0);

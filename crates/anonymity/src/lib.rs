@@ -8,7 +8,7 @@
 //! * [`presim`] — pre-simulations of the lookup on a large ring,
 //!   producing the query-position distributions the paper calls ξ, γ and
 //!   χ ("obtained via pre-simulations of the lookup").
-//! * [`range`] — the range-estimation attack of [38] (Appendix III):
+//! * [`range`] — the range-estimation attack of \[38\] (Appendix III):
 //!   bounding the target between the last observed query and the
 //!   greedy-lookup upper bound.
 //! * [`initiator`] / [`target`] — Monte-Carlo evaluation of H(I) (§6.2)

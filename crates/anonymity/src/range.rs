@@ -1,4 +1,4 @@
-//! The range-estimation attack of [38] (paper Appendix III).
+//! The range-estimation attack of \[38\] (paper Appendix III).
 //!
 //! Given the ring positions of the queries an adversary observed from
 //! one lookup (as node-index distances to the — unknown — target), the

@@ -5,7 +5,7 @@
 //! upstream and downstream one-way latencies — which would be equal in a
 //! noise-free network. Octopus defeats this by having the middle relay B
 //! add a random delay up to `max_delay` (100 or 200 ms), swamping the
-//! signal; jitter is min(10 ms, 10 % of latency) per [2].
+//! signal; jitter is min(10 ms, 10 % of latency) per \[2\].
 //!
 //! The attack: among all concurrent flows' (A, Dᵢ) candidate pairs, pick
 //! the one minimizing |upstream − downstream|. The *error rate* is the

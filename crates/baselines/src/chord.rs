@@ -1,4 +1,4 @@
-//! Vanilla iterative Chord lookup [34].
+//! Vanilla iterative Chord lookup \[34\].
 //!
 //! The initiator contacts each intermediate node *directly* (exposing
 //! its identity) and reveals the lookup key (each hop returns only its

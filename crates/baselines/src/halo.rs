@@ -1,4 +1,4 @@
-//! Halo: high-assurance locate [17].
+//! Halo: high-assurance locate \[17\].
 //!
 //! Instead of looking up the target key directly, Halo performs
 //! redundant searches for *knuckles* — nodes whose fingers point at the

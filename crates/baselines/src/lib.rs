@@ -1,13 +1,13 @@
 //! Baseline DHT lookups the paper compares against (§2, §6, §7).
 //!
-//! * [`chord`] — vanilla iterative Chord [34]: the efficiency baseline of
+//! * [`chord`] — vanilla iterative Chord \[34\]: the efficiency baseline of
 //!   Table 3 and the anonymity floor of Figs. 5(b)/6.
-//! * [`halo`] — Halo [17]: redundant knuckle searches (8×4 degree-2 in
+//! * [`halo`] — Halo \[17\]: redundant knuckle searches (8×4 degree-2 in
 //!   §7), the state-of-the-art *secure-only* lookup of Table 3.
-//! * [`nisan`] — NISAN [28]: iterative lookup fetching whole
+//! * [`nisan`] — NISAN \[28\]: iterative lookup fetching whole
 //!   fingertables with bound checking; hides the key but not the
-//!   initiator, and falls to the range-estimation attack [38].
-//! * [`torsk`] — Torsk [20]: buddy (proxy) lookups found by random walk;
+//!   initiator, and falls to the range-estimation attack \[38\].
+//! * [`torsk`] — Torsk \[20\]: buddy (proxy) lookups found by random walk;
 //!   hides the initiator behind the buddy but not the target.
 //!
 //! Latency is estimated with the *same methodology* the paper uses for

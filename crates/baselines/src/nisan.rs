@@ -1,10 +1,10 @@
-//! NISAN [28]: iterative lookup over whole fingertables.
+//! NISAN \[28\]: iterative lookup over whole fingertables.
 //!
 //! Each queried node returns its *entire* fingertable (hiding the lookup
 //! key), and the initiator applies bound checking to limit manipulation.
 //! But the initiator still contacts every hop directly — exposing its
 //! identity — and the *positions* of its queries leak the target to a
-//! range-estimation attack [38] (reproduced in `octopus-anonymity`).
+//! range-estimation attack \[38\] (reproduced in `octopus-anonymity`).
 
 use octopus_chord::{BoundChecker, ChordConfig, NextHop, RoutingView};
 use octopus_id::{Key, NodeId};

@@ -1,11 +1,11 @@
-//! Torsk [20]: buddy (proxy) lookups.
+//! Torsk \[20\]: buddy (proxy) lookups.
 //!
 //! The initiator performs a random walk to find a *buddy* and asks the
 //! buddy to run the lookup on its behalf: intermediate nodes see the
 //! buddy, not the initiator. This protects the initiator — but the
 //! lookup itself is an ordinary (Myrmic-secured) lookup that reveals the
 //! target to whoever observes it, which is what makes Torsk vulnerable
-//! to relay-exhaustion attacks [38] (§6.3).
+//! to relay-exhaustion attacks \[38\] (§6.3).
 
 use octopus_chord::{iterative_lookup, RoutingView};
 use octopus_id::{Key, NodeId};

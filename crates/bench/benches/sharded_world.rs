@@ -1,0 +1,122 @@
+//! Criterion bench of the sharded world at ring sizes the paper never
+//! reached: build an N-node overlay (N = 100 000 at `OCTOPUS_SCALE=full`,
+//! 10 000 at the default `quick`), drive one simulated second of
+//! staggered per-node gossip timers — half the traffic deliberately
+//! crossing the ID-space midpoint so multi-shard runs exercise the
+//! cross-shard bus and its lookahead barriers — and compare 1/2/4/8
+//! shards. Results are byte-identical at every shard count (pinned by
+//! the engine_determinism tests); this bench measures what the
+//! partition costs or saves in events per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use octopus_bench::Scale;
+use octopus_id::NodeId;
+use octopus_net::{
+    Addr, ConstantLatency, Ctx, NodeBehavior, SchedulerKind, StepOutcome, WireMsg, World,
+};
+use octopus_sim::{Duration, SimTime};
+
+/// Simulated horizon driven per iteration.
+const SIM_MILLIS: u64 = 1000;
+
+#[derive(Clone, Copy)]
+struct Gossip(#[allow(dead_code)] [u64; 9]); // the engine's real ~72-byte message shape
+
+impl WireMsg for Gossip {
+    fn wire_bytes(&self) -> u32 {
+        72
+    }
+}
+
+/// A node that gossips to a ring neighbor and to a node across the
+/// ID-space midpoint on alternating ~300 ms ticks.
+struct GossipNode {
+    near: Addr,
+    far: Addr,
+    tick: u64,
+}
+
+impl NodeBehavior for GossipNode {
+    type Msg = Gossip;
+    type Timer = ();
+    type Control = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Gossip, (), ()>) {
+        // stagger the first tick so load spreads over the horizon
+        let phase = ctx.addr().0 % 300_000;
+        ctx.set_timer(Duration(phase), ());
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Gossip, (), ()>, _from: Addr, _msg: Gossip) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Gossip, (), ()>, (): ()) {
+        let dest = if self.tick % 2 == 0 {
+            self.near
+        } else {
+            self.far
+        };
+        self.tick += 1;
+        ctx.send(dest, Gossip([self.tick; 9]));
+        // re-arm until the horizon, then let the queue drain to Idle
+        if ctx.now() + Duration::from_millis(300) <= SimTime::from_millis(SIM_MILLIS) {
+            ctx.set_timer(Duration::from_millis(300), ());
+        }
+    }
+}
+
+fn node_ids(n: usize) -> Vec<Addr> {
+    let stride = u64::MAX / n as u64;
+    (0..n as u64).map(|i| NodeId(i * stride + i)).collect()
+}
+
+/// Build the overlay and run `SIM_MILLIS` of gossip; returns total
+/// bytes shipped (for cross-shard-count sanity checks).
+fn drive(n: usize, shards: usize) -> u64 {
+    let ids = node_ids(n);
+    let mut w: World<GossipNode, _> = World::with_shards(
+        ConstantLatency(Duration::from_millis(40)),
+        7,
+        SchedulerKind::default(),
+        shards,
+    );
+    for (i, &id) in ids.iter().enumerate() {
+        w.insert_node(
+            id,
+            GossipNode {
+                near: ids[(i + 1) % n],
+                far: ids[(i + n / 2) % n],
+                tick: id.0 % 2,
+            },
+        );
+    }
+    while !matches!(w.step(), StepOutcome::Idle) {}
+    w.ledger().total_bytes()
+}
+
+fn bench_sharded_world(c: &mut Criterion) {
+    // sanity at a cheap size: the bus must not change what happens
+    let reference = drive(1000, 1);
+    for shards in [2usize, 4, 8] {
+        assert_eq!(drive(1000, shards), reference, "{shards}-shard divergence");
+    }
+
+    let n = match Scale::from_env() {
+        Scale::Quick => 10_000,
+        Scale::Full => 100_000,
+    };
+    // ≈ events per iteration: one timer + one delivery per node per
+    // ~300 ms of the simulated second
+    let events = (n as u64) * 2 * (SIM_MILLIS / 300);
+    let mut g = c.benchmark_group("sharded_world");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events));
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("gossip_n{n}_shards{shards}"), |b| {
+            b.iter(|| drive(n, shards))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_world);
+criterion_main!(benches);

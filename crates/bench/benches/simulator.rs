@@ -22,6 +22,7 @@ fn bench_sim(c: &mut Criterion) {
                 octopus: OctopusConfig::for_network(100),
                 lookups_enabled: true,
                 scheduler: Default::default(),
+                shards: 1,
             };
             SecuritySim::new(cfg).run()
         })

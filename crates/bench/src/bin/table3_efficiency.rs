@@ -34,6 +34,7 @@ fn octopus_config(args: &RunArgs, lookup_interval: Duration, secs: u64) -> SimCo
         octopus,
         lookups_enabled: true,
         scheduler: args.scheduler,
+        shards: args.shards,
     }
 }
 

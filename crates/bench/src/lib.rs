@@ -16,6 +16,7 @@
 //! | `OCTOPUS_THREADS` | `--threads` | trial-runner worker threads | available parallelism |
 //! | `OCTOPUS_TRIALS` | `--trials` | independent trials merged per data point | 1 |
 //! | `OCTOPUS_SCHEDULER` | `--scheduler` | `timing-wheel` or `binary-heap` backend | `timing-wheel` |
+//! | `OCTOPUS_SHARDS` | `--shards` | world shards per simulation (results identical at any count) | 1 |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -130,6 +131,9 @@ pub struct RunArgs {
     pub trials: usize,
     /// Event-queue backend for every simulation in the run.
     pub scheduler: SchedulerKind,
+    /// World shards per simulation. Like the scheduler backend, a pure
+    /// speed/layout knob: results are identical at any shard count.
+    pub shards: usize,
 }
 
 impl Default for RunArgs {
@@ -140,6 +144,7 @@ impl Default for RunArgs {
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             trials: 1,
             scheduler: SchedulerKind::default(),
+            shards: 1,
         }
     }
 }
@@ -180,6 +185,11 @@ impl RunArgs {
                     out.scheduler = k;
                 }
             }
+            "shards" => {
+                if let Ok(s) = value.parse::<usize>() {
+                    out.shards = s.max(1);
+                }
+            }
             _ => {}
         };
         for (env_key, key) in [
@@ -188,12 +198,14 @@ impl RunArgs {
             ("OCTOPUS_THREADS", "threads"),
             ("OCTOPUS_TRIALS", "trials"),
             ("OCTOPUS_SCHEDULER", "scheduler"),
+            ("OCTOPUS_SHARDS", "shards"),
         ] {
             if let Some(v) = env(env_key) {
                 apply(key, &v);
             }
         }
-        const KNOWN_FLAGS: [&str; 5] = ["scale", "seed", "threads", "trials", "scheduler"];
+        const KNOWN_FLAGS: [&str; 6] =
+            ["scale", "seed", "threads", "trials", "scheduler", "shards"];
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
             let Some(flag) = arg.strip_prefix("--") else {
@@ -245,6 +257,7 @@ impl RunArgs {
             octopus: OctopusConfig::for_network(self.scale.sim_n()),
             lookups_enabled: true,
             scheduler: self.scheduler,
+            shards: self.shards,
         }
     }
 }
@@ -326,6 +339,7 @@ mod tests {
         assert_eq!(a.trials, 1);
         assert!(a.threads >= 1);
         assert_eq!(a.scheduler, SchedulerKind::TimingWheel);
+        assert_eq!(a.shards, 1);
         assert_eq!(a.seed_or(31), 31);
     }
 
@@ -337,6 +351,7 @@ mod tests {
             "OCTOPUS_THREADS" => Some("2".to_string()),
             "OCTOPUS_TRIALS" => Some("5".to_string()),
             "OCTOPUS_SCHEDULER" => Some("binary-heap".to_string()),
+            "OCTOPUS_SHARDS" => Some("4".to_string()),
             _ => None,
         };
         let a = RunArgs::parse(&[], env);
@@ -345,6 +360,7 @@ mod tests {
         assert_eq!(a.threads, 2);
         assert_eq!(a.trials, 5);
         assert_eq!(a.scheduler, SchedulerKind::BinaryHeap);
+        assert_eq!(a.shards, 4);
     }
 
     #[test]
@@ -388,15 +404,25 @@ mod tests {
 
     #[test]
     fn run_args_plumb_into_security_config() {
-        let args: Vec<String> = ["--scale", "full", "--scheduler", "heap", "--seed", "5"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let args: Vec<String> = [
+            "--scale",
+            "full",
+            "--scheduler",
+            "heap",
+            "--seed",
+            "5",
+            "--shards",
+            "2",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
         let a = RunArgs::parse(&args, no_env);
         let c = a.security_config(AttackKind::FingerPollution, 0.5, 34);
         assert_eq!(c.n, 1000);
         assert_eq!(c.seed, 5);
         assert_eq!(c.scheduler, SchedulerKind::BinaryHeap);
+        assert_eq!(c.shards, 2);
         assert!((c.attack_rate - 0.5).abs() < 1e-12);
     }
 }

@@ -20,7 +20,11 @@
 //! * **The event-based security simulator** (§5): [`simnet::SecuritySim`]
 //!   reproduces the paper's evaluation — malicious-fraction-over-time
 //!   curves (Figs. 3, 4, 9), identification accuracy (Table 2) and CA
-//!   workload (Fig. 7b).
+//!   workload (Fig. 7b) — on a sharded `octopus-net` world
+//!   ([`SimConfig::shards`](simnet::SimConfig::shards)), with
+//!   [`trial::TrialRunner`] fanning seeded trials across threads.
+//!   Scheduler backend, thread count and shard count are pure speed
+//!   knobs: fixed-seed reports are byte-identical at any setting.
 //!
 //! The adversary ([`adversary`]) is a first-class implementation:
 //! colluding malicious nodes mount lookup bias, fingertable manipulation,

@@ -3,7 +3,7 @@
 //!
 //! One type plays both roles. Honest behaviour is the default; a node
 //! carrying a [`SharedAdversary`] handle fabricates responses according
-//! to the active [`AttackKind`](crate::adversary::AttackKind). Keeping
+//! to the active [`AttackKind`]. Keeping
 //! both in one implementation guarantees attackers and defenders see
 //! exactly the same protocol surface — a malicious node cannot tell a
 //! surveillance query from a real lookup query, which is precisely the

@@ -177,6 +177,13 @@ pub struct SimConfig {
     /// Event-queue backend. All backends produce identical reports (the
     /// scheduler determinism contract); they differ only in speed.
     pub scheduler: SchedulerKind,
+    /// Number of contiguous ID-range shards the world is partitioned
+    /// into (clamped to at least 1). Sharding splits storage — one node
+    /// slab and one event queue per shard, joined by a cross-shard
+    /// message bus — but never results: a fixed seed produces an
+    /// identical [`SimReport`] at every shard count (pinned by the
+    /// `engine_determinism` regression tests).
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -193,6 +200,7 @@ impl Default for SimConfig {
             octopus: OctopusConfig::default(),
             lookups_enabled: true,
             scheduler: SchedulerKind::default(),
+            shards: 1,
         }
     }
 }
@@ -432,7 +440,7 @@ impl SecuritySim {
         // --- world ---
         let latency = KingLikeLatency::new(octopus_sim::split_seed(cfg.seed, 7));
         let mut world: World<Actor, KingLikeLatency> =
-            World::with_scheduler(latency, cfg.seed, cfg.scheduler);
+            World::with_shards(latency, cfg.seed, cfg.scheduler, cfg.shards);
         world.insert_node(CA_ADDR, Actor::Ca(Box::new(ca_node)));
 
         let chord = cfg.octopus.chord;

@@ -15,6 +15,22 @@ use octopus_sim::split_seed;
 use crate::simnet::{SecuritySim, SimConfig, SimReport};
 
 /// Fans independent simulation trials across worker threads.
+///
+/// ```
+/// use octopus_core::{SimConfig, TrialRunner};
+/// use octopus_sim::Duration;
+///
+/// let base = SimConfig {
+///     n: 30,
+///     duration: Duration::from_secs(10),
+///     octopus: octopus_core::OctopusConfig::for_network(30),
+///     ..SimConfig::default()
+/// };
+/// // two seeded trials, fanned across two threads, merged in
+/// // submission order — identical to a 1-thread run
+/// let merged = TrialRunner::new(2).run_trials(&base, 2).expect("2 trials");
+/// assert_eq!(merged.trials, 2);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct TrialRunner {
     threads: usize,
@@ -117,6 +133,46 @@ impl TrialRunner {
     pub fn run_trials(&self, base: &SimConfig, trials: usize) -> Option<SimReport> {
         self.run_merged(&trial_configs(base, trials))
     }
+
+    /// Run the full shards × trials grid — every shard count in
+    /// `shard_counts` crossed with `trials` seeded repetitions of
+    /// `base` — through *one* thread-pool batch, and return one merged
+    /// report per shard count, in order. Shard counts and trials share
+    /// the workers, so even a single-trial sweep saturates the machine.
+    ///
+    /// Because sharding never changes results, every returned report is
+    /// identical; the grid exists to *measure* shard configurations
+    /// (the `sharded_world` bench) and to regression-test that very
+    /// invariance.
+    #[must_use]
+    pub fn run_shard_sweep(
+        &self,
+        base: &SimConfig,
+        shard_counts: &[usize],
+        trials: usize,
+    ) -> Vec<SimReport> {
+        let trials = trials.max(1);
+        let configs: Vec<SimConfig> = shard_counts
+            .iter()
+            .flat_map(|&s| {
+                let mut b = base.clone();
+                b.shards = s;
+                trial_configs(&b, trials)
+            })
+            .collect();
+        let mut reports = self.run(&configs).into_iter();
+        shard_counts
+            .iter()
+            .map(|_| {
+                reports
+                    .by_ref()
+                    .take(trials)
+                    .collect::<Accumulator<SimReport>>()
+                    .into_inner()
+                    .expect("at least one trial per shard count")
+            })
+            .collect()
+    }
 }
 
 /// The per-trial configs for `trials` repetitions of `base`: trial 0
@@ -162,5 +218,21 @@ mod tests {
     #[test]
     fn empty_batch_merges_to_none() {
         assert_eq!(TrialRunner::new(2).run_merged(&[]), None);
+    }
+
+    #[test]
+    fn shard_sweep_composes_the_grid() {
+        // shape only (the determinism of the reports themselves is
+        // pinned by the engine_determinism integration tests)
+        let base = SimConfig {
+            n: 30,
+            duration: octopus_sim::Duration::from_secs(10),
+            octopus: crate::OctopusConfig::for_network(30),
+            ..SimConfig::default()
+        };
+        let reports = TrialRunner::new(2).run_shard_sweep(&base, &[1, 2], 2);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].trials, 2);
+        assert_eq!(reports[0], reports[1], "shard count changed results");
     }
 }

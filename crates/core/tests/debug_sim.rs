@@ -20,6 +20,7 @@ fn diagnose_passive() {
         octopus: octopus_core::OctopusConfig::for_network(150),
         lookups_enabled: true,
         scheduler: Default::default(),
+        shards: 1,
     };
     let mut sim = SecuritySim::new(cfg);
     let report = sim.run_debug();

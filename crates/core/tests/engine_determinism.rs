@@ -1,8 +1,8 @@
 //! Engine-level determinism regressions: the same seeded experiment
-//! must produce byte-identical reports across scheduler backends and
-//! across trial-runner thread counts. These guard the refactored
-//! engine's core promise — backends and parallelism change speed, never
-//! results.
+//! must produce byte-identical reports across scheduler backends,
+//! across trial-runner thread counts, and across world shard counts.
+//! These guard the engine's core promise — backends, parallelism and
+//! partitioning change speed, never results.
 
 use octopus_core::{
     trial_configs, AttackKind, OctopusConfig, SchedulerKind, SecuritySim, SimConfig, TrialRunner,
@@ -48,6 +48,48 @@ fn trial_runner_merge_is_thread_count_invariant() {
     assert_eq!(serial.trials, 4);
     assert_eq!(serial, parallel, "thread count changed merged metrics");
     assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+/// A fixed-seed `SecuritySim` produces identical `SimReport`s at 1, 2,
+/// and 4 shards: the sharded world's global `(time, seq)` execution
+/// order makes the partition — like the scheduler backend — a pure
+/// speed/layout knob that can never change results.
+#[test]
+fn security_sim_identical_across_shard_counts() {
+    let report_at = |shards: usize| {
+        let cfg = SimConfig {
+            shards,
+            ..small(17, SchedulerKind::default())
+        };
+        SecuritySim::new(cfg).run()
+    };
+    let one = report_at(1);
+    assert!(
+        one.completed_lookups > 0 || one.walks_ok > 0,
+        "run must exercise the protocol"
+    );
+    for shards in [2usize, 4] {
+        let sharded = report_at(shards);
+        assert_eq!(one, sharded, "{shards}-shard run diverged");
+        assert_eq!(format!("{one:?}"), format!("{sharded:?}"));
+    }
+}
+
+/// Sharding also composes with the scheduler backends: a 4-shard run on
+/// the heap matches a 4-shard run on the wheel.
+#[test]
+fn sharded_runs_identical_across_scheduler_backends() {
+    let run = |kind: SchedulerKind| {
+        let cfg = SimConfig {
+            shards: 4,
+            ..small(19, kind)
+        };
+        SecuritySim::new(cfg).run()
+    };
+    assert_eq!(
+        run(SchedulerKind::BinaryHeap),
+        run(SchedulerKind::TimingWheel)
+    );
 }
 
 /// Per-trial reports also come back in submission order regardless of

@@ -19,6 +19,7 @@ fn base(attack: AttackKind, seed: u64) -> SimConfig {
         octopus: octopus_core::OctopusConfig::for_network(150),
         lookups_enabled: true,
         scheduler: Default::default(),
+        shards: 1,
     }
 }
 

@@ -192,7 +192,7 @@ impl CertificateAuthority {
 /// A signed certificate revocation list distributed over the overlay.
 ///
 /// The list is committed to with a Merkle tree (following the
-/// Merkle-hash-tree CRL design the paper cites [25]) so that nodes can
+/// Merkle-hash-tree CRL design the paper cites \[25\]) so that nodes can
 /// verify membership proofs without holding the whole list.
 #[derive(Clone, Debug)]
 pub struct RevocationList {

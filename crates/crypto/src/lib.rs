@@ -16,7 +16,7 @@
 //!    CTR-mode stream cipher over our SHA-256 ([`stream`]) and layered
 //!    wrapping ([`onion`]).
 //! 3. **A hash** mapping certificates to ring positions and keys to the
-//!    key space ([`sha256`]).
+//!    key space ([`sha256`](mod@sha256)).
 //!
 //! Everything here is `#![forbid(unsafe_code)]`, dependency-free (beyond
 //! `rand` for keygen), and test-vectored where vectors exist (SHA-256,

@@ -2,7 +2,7 @@
 //!
 //! Used to commit to the certificate revocation list so nodes can check
 //! membership with log-size proofs, following the Merkle-hash-tree CRL
-//! design the paper cites ([25] in the bibliography).
+//! design the paper cites (\[25\] in the bibliography).
 
 use crate::sha256::{sha256, Digest, Sha256};
 
@@ -14,7 +14,7 @@ const NODE_PREFIX: u8 = 0x01;
 /// A Merkle tree over a list of byte-string leaves.
 #[derive(Clone, Debug)]
 pub struct MerkleTree {
-    /// levels[0] is the leaf level; the last level has exactly one root.
+    /// levels\[0\] is the leaf level; the last level has exactly one root.
     levels: Vec<Vec<Digest>>,
 }
 

@@ -140,7 +140,7 @@ impl From<u64> for Key {
 
 /// A clockwise interval on the ring, used to express ranges such as the
 /// estimation range produced by the range-estimation attack (paper §6.3
-/// and [38]).
+/// and \[38\]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RingInterval {
     /// Interval start (exclusive).

@@ -15,12 +15,42 @@ use crate::summary::Summary;
 /// Implementations must be associative (`(a·b)·c == a·(b·c)`) so that a
 /// fold over any grouping of sub-results agrees with the sequential
 /// fold; determinism then only requires folding in a fixed order.
+///
+/// ```
+/// use octopus_metrics::{Merge, Summary};
+///
+/// let mut a = Summary::new();
+/// a.extend([1.0, 2.0]);
+/// let mut b = Summary::new();
+/// b.extend([3.0, 4.0]);
+/// a.merge(b); // the summary of the concatenated samples
+/// assert_eq!(a.count(), 4);
+/// assert_eq!(a.mean(), 2.5);
+/// ```
 pub trait Merge {
     /// Fold `other` into `self`.
     fn merge(&mut self, other: Self);
 }
 
 /// Folds a sequence of mergeable values, tracking how many were merged.
+///
+/// The trial driver collects per-trial reports through this — always in
+/// submission order, so any worker count merges identically.
+///
+/// ```
+/// use octopus_metrics::{Accumulator, Summary};
+///
+/// let acc: Accumulator<Summary> = (1..=3)
+///     .map(|t| {
+///         let mut s = Summary::new();
+///         s.extend([f64::from(t)]); // one "trial result" each
+///         s
+///     })
+///     .collect();
+/// assert_eq!(acc.count(), 3);
+/// let pooled = acc.into_inner().expect("three summaries folded");
+/// assert_eq!(pooled.mean(), 2.0);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct Accumulator<T> {
     value: Option<T>,

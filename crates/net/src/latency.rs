@@ -14,6 +14,19 @@ pub trait LatencyModel {
     /// analysis attack which compares upstream and downstream latencies
     /// (paper §4.7).
     fn base(&self, from: NodeId, to: NodeId) -> Duration;
+
+    /// A lower bound on every latency [`LatencyModel::sample`] can ever
+    /// return, for any pair and any jitter draw.
+    ///
+    /// This is the *lookahead* of a sharded world: cross-shard messages
+    /// sent at time `t` provably arrive no earlier than
+    /// `t + min_latency()`, which bounds how far shards may run between
+    /// synchronization barriers. The default of zero is always sound
+    /// but forces a barrier before every event; override it with the
+    /// model's true floor to let shards batch.
+    fn min_latency(&self) -> Duration {
+        Duration::ZERO
+    }
 }
 
 /// Fixed latency for unit tests.
@@ -25,6 +38,9 @@ impl LatencyModel for ConstantLatency {
         self.0
     }
     fn base(&self, _: NodeId, _: NodeId) -> Duration {
+        self.0
+    }
+    fn min_latency(&self) -> Duration {
         self.0
     }
 }
@@ -42,7 +58,7 @@ impl LatencyModel for ConstantLatency {
 ///
 /// calibrated so that the mean RTT (2·base) is ≈ 182 ms, matching the
 /// published King mean (§5.1 footnote 2). Sampling adds symmetric jitter
-/// of up to min(10 ms, 10 % of base), the rule the paper adopts from [2].
+/// of up to min(10 ms, 10 % of base), the rule the paper adopts from \[2\].
 ///
 /// The model is deterministic in the node ids, so `base(a,b) == base(b,a)`
 /// — the symmetry the end-to-end timing attack exploits — while different
@@ -131,6 +147,12 @@ impl LatencyModel for KingLikeLatency {
 
     fn base(&self, from: NodeId, to: NodeId) -> Duration {
         Duration::from_millis_f64(self.base_ms(from, to).max(0.1))
+    }
+
+    /// `sample` clamps every draw to at least 0.1 ms, so that clamp is
+    /// the model's exact floor.
+    fn min_latency(&self) -> Duration {
+        Duration::from_millis_f64(0.1)
     }
 }
 

@@ -7,26 +7,37 @@
 //! nodes are embedded in a 2-D geography, pairwise one-way latency is the
 //! embedded distance scaled by a per-node-pair lognormal factor, and the
 //! whole distribution is calibrated so the mean RTT is ≈ 182 ms. Packet
-//! jitter follows the rule the paper takes from [2]: min(10 ms, 10 % of
+//! jitter follows the rule the paper takes from \[2\]: min(10 ms, 10 % of
 //! the transmission latency).
 //!
 //! On top of the latency model, [`world::World`] provides a deterministic
-//! message-passing substrate over the `octopus-sim` event queue: nodes
+//! message-passing substrate over `octopus-sim` event queues: nodes
 //! implement [`world::NodeBehavior`] and exchange typed messages;
 //! delivery samples the latency model; every message is byte-accounted
 //! against [`wire::BandwidthLedger`] using the paper's wire-size model
 //! (footnote 4).
+//!
+//! For large rings the world is *sharded* ([`shard`]): contiguous ID
+//! ranges ([`shard::ShardMap`]) each own a node slab ([`slab`]) and an
+//! event queue, linked by a cross-shard message bus
+//! ([`shard::CrossShardBus`]) that synchronizes conservatively at
+//! lookahead barriers bounded by [`LatencyModel::min_latency`]. Events
+//! always execute in one global `(time, seq)` order, so any shard count
+//! — including 1, the classic single-queue engine — produces
+//! byte-identical results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod latency;
+pub mod shard;
 pub mod slab;
 pub mod wire;
 pub mod world;
 
 pub use latency::{ConstantLatency, KingLikeLatency, LatencyModel};
 pub use octopus_sim::SchedulerKind;
+pub use shard::{CrossShardBus, Envelope, ShardMap};
 pub use slab::{NodeSlab, SlotKey};
 pub use wire::{sizes, BandwidthLedger, WireMsg};
 pub use world::{Addr, Ctx, NodeBehavior, StepOutcome, World};

@@ -1,13 +1,15 @@
 //! Generational slab storage for world-hosted nodes.
 //!
-//! The [`World`](crate::World) used to keep its nodes in a
+//! An early version of the [`World`](crate::World) kept its nodes in a
 //! `HashMap<Addr, Node>`; at N = 10k–100k the per-event hashing and the
 //! pointer-chasing iteration dominate. [`NodeSlab`] stores values in a
 //! dense `Vec` of slots with an `Addr → slot` index on the side: lookups
 //! hash once, the hot take/restore cycle of event dispatch touches only
 //! the slot, and iteration is a linear scan. Slots are *generational* —
 //! each reuse bumps a generation counter so a stale [`SlotKey`] held
-//! across a churn-out can never alias the slot's next occupant.
+//! across a churn-out can never alias the slot's next occupant. A
+//! sharded world keeps one slab per shard, so each stays dense and
+//! cache-friendly even as the total ring grows toward millions of ids.
 
 use std::collections::HashMap;
 

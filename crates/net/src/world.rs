@@ -1,4 +1,4 @@
-//! A deterministic message-passing world over the event queue.
+//! A deterministic message-passing world over sharded event queues.
 //!
 //! Protocol nodes implement [`NodeBehavior`]; the [`World`] owns them,
 //! routes typed messages through the latency model, delivers timers, and
@@ -7,18 +7,31 @@
 //! with protocol execution without borrowing conflicts: [`World::step`]
 //! returns control events to the caller instead of invoking callbacks.
 //!
-//! Storage and dispatch are built for scale: nodes (with their RNG
-//! streams) live in a generational [`NodeSlab`], so delivering an event
-//! costs one address lookup plus an `O(1)` slot take/restore instead of
-//! four hash-map operations, and the per-event outbox/timer/control
-//! buffers a [`Ctx`] writes into are pooled and reused instead of
-//! allocated per event.
+//! Storage and dispatch are built for scale. The ring is partitioned
+//! into contiguous ID ranges ([`ShardMap`]), each owned
+//! by a shard with its own generational [`NodeSlab`] (nodes colocated
+//! with their RNG streams, `O(1)` slot take/restore dispatch) and its
+//! own event queue; per-event outbox/timer/control buffers behind a
+//! [`Ctx`] are pooled and reused instead of allocated per event.
+//!
+//! Sharding never changes results. Every event carries a `(time, seq)`
+//! key from one global counter; execution always pops the globally
+//! smallest key across all shard queues, so the event order — and
+//! therefore every simulation result — is byte-identical for any shard
+//! count, and a 1-shard world *is* the classic single-queue engine.
+//! Cross-shard messages park in a [`CrossShardBus`]
+//! and are flushed at conservative barriers bounded by the latency
+//! model's guaranteed floor ([`LatencyModel::min_latency`], the
+//! lookahead of [`octopus_sim::LookaheadWindow`]): a message sent at
+//! `t` cannot arrive before `t + lookahead`, so parking it until the
+//! window closes can never deliver it late.
 
 use octopus_id::NodeId;
-use octopus_sim::{derive_rng, Duration, EventQueue, SchedulerKind, SimTime};
+use octopus_sim::{derive_rng, Duration, EventQueue, LookaheadWindow, SchedulerKind, SimTime};
 use rand::rngs::StdRng;
 
 use crate::latency::LatencyModel;
+use crate::shard::{CrossShardBus, Envelope, ShardMap};
 use crate::slab::NodeSlab;
 use crate::wire::{BandwidthLedger, WireMsg};
 
@@ -118,6 +131,10 @@ enum Event<M, T, C> {
     Control(C),
 }
 
+/// The event type of a [`NodeBehavior`]'s world, spelled once.
+type EventOf<B> =
+    Event<<B as NodeBehavior>::Msg, <B as NodeBehavior>::Timer, <B as NodeBehavior>::Control>;
+
 /// What a single [`World::step`] produced.
 pub enum StepOutcome<C> {
     /// A protocol event (message or timer) was processed; control events
@@ -153,10 +170,24 @@ impl<M, T, C> Default for BufferPool<M, T, C> {
     }
 }
 
-/// The simulated network world.
-pub struct World<B: NodeBehavior, L: LatencyModel> {
+/// One partition of the world: the nodes in a contiguous ID range plus
+/// the event queue for everything addressed to them.
+struct Shard<B: NodeBehavior> {
     nodes: NodeSlab<Hosted<B>>,
     queue: EventQueue<Event<B::Msg, B::Timer, B::Control>>,
+}
+
+/// The simulated network world, partitioned into one or more shards.
+pub struct World<B: NodeBehavior, L: LatencyModel> {
+    shards: Vec<Shard<B>>,
+    map: ShardMap,
+    bus: CrossShardBus<B::Msg>,
+    window: LookaheadWindow,
+    /// Global insertion counter: the second half of every event's
+    /// `(time, seq)` ordering key, shared by all shards.
+    seq: u64,
+    /// Timestamp of the last event popped from any shard.
+    now: SimTime,
     pool: BufferPool<B::Msg, B::Timer, B::Control>,
     latency: L,
     ledger: BandwidthLedger,
@@ -166,21 +197,51 @@ pub struct World<B: NodeBehavior, L: LatencyModel> {
 }
 
 impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
-    /// New world with the given latency model and master seed, on the
-    /// default event-queue backend.
+    /// New single-shard world with the given latency model and master
+    /// seed, on the default event-queue backend.
     #[must_use]
     pub fn new(latency: L, master_seed: u64) -> Self {
         Self::with_scheduler(latency, master_seed, SchedulerKind::default())
     }
 
-    /// New world on an explicit event-queue backend. All backends are
-    /// observationally identical (the [`octopus_sim::Scheduler`]
-    /// determinism contract); they differ only in speed.
+    /// New single-shard world on an explicit event-queue backend. All
+    /// backends are observationally identical (the
+    /// [`octopus_sim::Scheduler`] determinism contract); they differ
+    /// only in speed.
     #[must_use]
     pub fn with_scheduler(latency: L, master_seed: u64, scheduler: SchedulerKind) -> Self {
+        Self::with_shards(latency, master_seed, scheduler, 1)
+    }
+
+    /// New world partitioned into `shards` contiguous ID-range shards
+    /// (clamped to at least 1), each with its own node slab and event
+    /// queue on the chosen backend.
+    ///
+    /// Sharding is observationally identical too: a fixed-seed run
+    /// produces byte-identical results at every shard count, because
+    /// events execute in one global `(time, seq)` order regardless of
+    /// which shard's queue holds them.
+    #[must_use]
+    pub fn with_shards(
+        latency: L,
+        master_seed: u64,
+        scheduler: SchedulerKind,
+        shards: usize,
+    ) -> Self {
+        let map = ShardMap::new(shards);
+        let lookahead = latency.min_latency();
         World {
-            nodes: NodeSlab::new(),
-            queue: EventQueue::with_scheduler(scheduler),
+            shards: (0..map.count())
+                .map(|_| Shard {
+                    nodes: NodeSlab::new(),
+                    queue: EventQueue::with_scheduler(scheduler),
+                })
+                .collect(),
+            bus: CrossShardBus::new(map.count()),
+            map,
+            window: LookaheadWindow::new(lookahead),
+            seq: 0,
+            now: SimTime::ZERO,
             pool: BufferPool::default(),
             latency,
             ledger: BandwidthLedger::new(),
@@ -193,7 +254,19 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     /// Current simulation time.
     #[must_use]
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.now
+    }
+
+    /// Number of shards the ID space is partitioned into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.map.count()
+    }
+
+    /// The ID-range partition in use.
+    #[must_use]
+    pub fn shard_map(&self) -> ShardMap {
+        self.map
     }
 
     /// The bandwidth ledger.
@@ -213,52 +286,63 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         self.dropped_to_dead
     }
 
-    /// Number of live nodes.
+    /// Number of live nodes across all shards.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.shards.iter().map(|s| s.nodes.len()).sum()
     }
 
     /// Is `addr` currently alive in the world?
     #[must_use]
     pub fn is_alive(&self, addr: Addr) -> bool {
-        self.nodes.contains(addr)
+        self.shard(addr).nodes.contains(addr)
     }
 
-    /// Iterate over live node addresses (deterministic slot order).
+    /// Iterate over live node addresses (deterministic shard-major,
+    /// slot-minor order).
     pub fn addrs(&self) -> impl Iterator<Item = Addr> + '_ {
-        self.nodes.addrs()
+        self.shards.iter().flat_map(|s| s.nodes.addrs())
     }
 
     /// Immutable access to a node's state (driver-side measurement).
     #[must_use]
     pub fn node(&self, addr: Addr) -> Option<&B> {
-        self.nodes.get(addr).map(|h| &h.node)
+        self.shard(addr).nodes.get(addr).map(|h| &h.node)
     }
 
     /// Mutable access to a node's state (driver-side mutation between
     /// steps; protocol code should use messages instead).
     pub fn node_mut(&mut self, addr: Addr) -> Option<&mut B> {
-        self.nodes.get_mut(addr).map(|h| &mut h.node)
+        self.shard_mut(addr)
+            .nodes
+            .get_mut(addr)
+            .map(|h| &mut h.node)
     }
 
-    /// Insert a node and run its `on_start` hook.
+    /// Insert a node into its ID range's shard and run its `on_start`
+    /// hook.
     pub fn insert_node(&mut self, addr: Addr, node: B) {
         let rng = derive_rng(self.master_seed, b"node", addr.0);
         let mut hosted = Hosted { node, rng };
         self.dispatch(addr, &mut hosted, |node, ctx| node.on_start(ctx));
-        self.nodes.insert(addr, hosted);
+        self.shard_mut(addr).nodes.insert(addr, hosted);
     }
 
     /// Remove a node (churn). Its pending timers and in-flight messages
     /// to it are silently dropped, as for a crashed peer.
     pub fn remove_node(&mut self, addr: Addr) -> Option<B> {
-        self.nodes.remove(addr).map(|h| h.node)
+        self.shard_mut(addr).nodes.remove(addr).map(|h| h.node)
     }
 
     /// Driver-side: schedule a control event at absolute time `at`.
+    ///
+    /// Control events live on shard 0's queue (the driver lane), but —
+    /// like every event — pop in global `(time, seq)` order.
     pub fn schedule_control(&mut self, at: SimTime, control: B::Control) {
-        self.queue.push(at, Event::Control(control));
+        let seq = self.next_seq();
+        self.shards[0]
+            .queue
+            .push_with_seq(at, seq, Event::Control(control));
     }
 
     /// Driver-side: inject a message from outside the overlay (used by
@@ -274,25 +358,42 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     where
         F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
     {
-        let Some((key, mut hosted)) = self.nodes.take(addr) else {
+        let Some((key, mut hosted)) = self.shard_mut(addr).nodes.take(addr) else {
             return false;
         };
         self.dispatch(addr, &mut hosted, f);
-        self.nodes.restore(addr, key, hosted);
+        self.shard_mut(addr).nodes.restore(addr, key, hosted);
         true
     }
 
+    fn shard(&self, addr: Addr) -> &Shard<B> {
+        &self.shards[self.map.shard_of(addr)]
+    }
+
+    fn shard_mut(&mut self, addr: Addr) -> &mut Shard<B> {
+        &mut self.shards[self.map.shard_of(addr)]
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
     /// Run `f` against `hosted` with a pooled context, then flush what
-    /// it produced (messages, timers, controls) into the queue.
+    /// it produced (messages, timers, controls) into the queues.
     fn dispatch<F>(&mut self, addr: Addr, hosted: &mut Hosted<B>, f: F)
     where
         F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
     {
         let controls = self.dispatch_buffered(addr, hosted, f);
         if let Some(mut controls) = controls {
-            let now = self.queue.now();
+            let now = self.now;
             for c in controls.drain(..) {
-                self.queue.push(now, Event::Control(c));
+                let seq = self.next_seq();
+                self.shards[0]
+                    .queue
+                    .push_with_seq(now, seq, Event::Control(c));
             }
             self.pool.controls = controls;
         }
@@ -316,7 +417,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         let mut controls = std::mem::take(&mut self.pool.controls);
         debug_assert!(outbox.is_empty() && timers.is_empty() && controls.is_empty());
         let mut ctx = Ctx {
-            now: self.queue.now(),
+            now: self.now,
             self_addr: addr,
             rng: &mut hosted.rng,
             outbox: &mut outbox,
@@ -327,10 +428,15 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         for (to, msg, extra) in outbox.drain(..) {
             self.route(addr, to, msg, extra);
         }
-        let now = self.queue.now();
+        let now = self.now;
+        let sh = self.map.shard_of(addr);
         for (delay, timer) in timers.drain(..) {
-            self.queue
-                .push(now + delay, Event::Timer { node: addr, timer });
+            let seq = self.next_seq();
+            self.shards[sh].queue.push_with_seq(
+                now + delay,
+                seq,
+                Event::Timer { node: addr, timer },
+            );
         }
         self.pool.outbox = outbox;
         self.pool.timers = timers;
@@ -346,40 +452,133 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         let bytes = msg.wire_bytes();
         self.ledger.record(from, to, bytes);
         let lat = self.latency.sample(from, to, &mut self.transport_rng);
-        let at = self.queue.now() + extra + lat;
-        self.queue.push(at, Event::Deliver { from, to, msg });
+        let at = self.now + extra + lat;
+        let seq = self.next_seq();
+        let dest = self.map.shard_of(to);
+        if dest == self.map.shard_of(from) {
+            self.shards[dest]
+                .queue
+                .push_with_seq(at, seq, Event::Deliver { from, to, msg });
+        } else {
+            // Conservative-sync soundness: the window's end never
+            // exceeds now + lookahead, and lat >= lookahead, so a
+            // parked message is always due at or beyond the window. A
+            // violation means the latency model's min_latency() lied
+            // about its floor — fail loudly rather than let release
+            // builds silently produce shard-count-dependent results.
+            assert!(
+                at >= self.window.end(),
+                "cross-shard message due inside the lookahead window: \
+                 the latency model's min_latency() exceeds an actual sample"
+            );
+            self.bus.park(
+                dest,
+                Envelope {
+                    at,
+                    seq,
+                    from,
+                    to,
+                    msg,
+                },
+            );
+        }
+    }
+
+    /// Barrier: move every parked cross-shard message into its
+    /// destination shard's queue, keyed by its send-time `(time, seq)`.
+    fn flush_bus(&mut self) {
+        let shards = &mut self.shards;
+        self.bus.flush(|dest, e| {
+            shards[dest].queue.push_with_seq(
+                e.at,
+                e.seq,
+                Event::Deliver {
+                    from: e.from,
+                    to: e.to,
+                    msg: e.msg,
+                },
+            );
+        });
+    }
+
+    /// Pop the globally earliest event across all shards, flushing the
+    /// bus at lookahead barriers so parked messages become visible
+    /// before they are due.
+    fn pop_due(&mut self) -> Option<(SimTime, EventOf<B>)> {
+        loop {
+            let head = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.queue.peek_key().map(|k| (k, i)))
+                .min();
+            let Some(((t, _), idx)) = head else {
+                if self.bus.is_empty() {
+                    return None;
+                }
+                self.flush_bus();
+                continue;
+            };
+            if !self.bus.is_empty() && !self.window.covers(t) {
+                // barrier: in-flight messages could be due at or before
+                // the window's edge — deliver them before advancing
+                self.flush_bus();
+                continue;
+            }
+            if self.bus.is_empty() {
+                self.window.open(t);
+            }
+            let popped = self.shards[idx].queue.pop();
+            debug_assert!(popped.is_some(), "peeked head exists");
+            let (at, ev) = popped?;
+            self.now = at;
+            return Some((at, ev));
+        }
+    }
+
+    /// The timestamp of the next pending event (queued or in flight on
+    /// the bus), if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let queued = self.shards.iter().filter_map(|s| s.queue.peek_time()).min();
+        match (queued, self.bus.earliest()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Process the next event. Returns what happened so the driver can
     /// react to control events.
     pub fn step(&mut self) -> StepOutcome<B::Control> {
         loop {
-            let Some((_, ev)) = self.queue.pop() else {
+            let Some((_, ev)) = self.pop_due() else {
                 return StepOutcome::Idle;
             };
             match ev {
                 Event::Control(c) => return StepOutcome::Control(c),
                 Event::Deliver { from, to, msg } => {
-                    let Some((key, mut hosted)) = self.nodes.take(to) else {
+                    let sh = self.map.shard_of(to);
+                    let Some((key, mut hosted)) = self.shards[sh].nodes.take(to) else {
                         self.dropped_to_dead += 1;
                         continue;
                     };
                     let controls = self.dispatch_buffered(to, &mut hosted, |node, ctx| {
                         node.on_message(ctx, from, msg);
                     });
-                    self.nodes.restore(to, key, hosted);
+                    self.shards[sh].nodes.restore(to, key, hosted);
                     if let Some(controls) = controls {
                         return StepOutcome::Protocol(controls);
                     }
                 }
                 Event::Timer { node: addr, timer } => {
-                    let Some((key, mut hosted)) = self.nodes.take(addr) else {
+                    let sh = self.map.shard_of(addr);
+                    let Some((key, mut hosted)) = self.shards[sh].nodes.take(addr) else {
                         continue; // timer of a dead node
                     };
                     let controls = self.dispatch_buffered(addr, &mut hosted, |node, ctx| {
                         node.on_timer(ctx, timer);
                     });
-                    self.nodes.restore(addr, key, hosted);
+                    self.shards[sh].nodes.restore(addr, key, hosted);
                     if let Some(controls) = controls {
                         return StepOutcome::Protocol(controls);
                     }
@@ -392,7 +591,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     /// emitted control events tagged with their emission time.
     pub fn run_until(&mut self, deadline: SimTime) -> Vec<(SimTime, B::Control)> {
         let mut out = Vec::new();
-        while self.queue.peek_time().is_some_and(|t| t <= deadline) {
+        while self.peek_time().is_some_and(|t| t <= deadline) {
             match self.step() {
                 StepOutcome::Idle => break,
                 StepOutcome::Control(c) => out.push((self.now(), c)),
@@ -594,5 +793,149 @@ mod tests {
             run(SchedulerKind::BinaryHeap),
             run(SchedulerKind::TimingWheel)
         );
+    }
+
+    /// Fixed latency that *reports* no guaranteed floor (inherits the
+    /// default `min_latency` of zero), forcing the degenerate
+    /// flush-before-every-pop path of a zero-lookahead shard set.
+    struct NoFloor(Duration);
+
+    impl LatencyModel for NoFloor {
+        fn sample<R: rand::Rng + ?Sized>(&self, _: Addr, _: Addr, _: &mut R) -> Duration {
+            self.0
+        }
+        fn base(&self, _: Addr, _: Addr) -> Duration {
+            self.0
+        }
+    }
+
+    /// A gossip workload whose control trace captures the full event
+    /// order: every pong emits the receiver's running count.
+    fn gossip_trace<L: LatencyModel>(shards: usize, latency: L) -> Vec<(SimTime, u32)> {
+        // ids spread across the whole u64 space so every shard count
+        // actually splits them
+        let ids: Vec<Addr> = (0..16)
+            .map(|i| NodeId((i as u64) << 60 | (i as u64 * 0x9E37_79B9)))
+            .collect();
+        let mut w: World<PingPong, _> =
+            World::with_shards(latency, 11, SchedulerKind::default(), shards);
+        assert_eq!(w.shard_count(), shards.max(1));
+        for (i, &id) in ids.iter().enumerate() {
+            w.insert_node(
+                id,
+                PingPong {
+                    pongs: 0,
+                    peer: Some(ids[(i + 5) % ids.len()]),
+                },
+            );
+        }
+        // keep the network busy: every pong re-pings a different peer
+        let mut out = Vec::new();
+        let deadline = SimTime::from_millis(400);
+        while w.peek_time().is_some_and(|t| t <= deadline) {
+            match w.step() {
+                StepOutcome::Idle => break,
+                StepOutcome::Control(c) => out.push((w.now(), c)),
+                StepOutcome::Protocol(cs) => {
+                    out.extend(cs.into_iter().map(|c| (w.now(), c)));
+                    // ping a rotating peer to generate cross-shard load
+                    let k = out.len() % ids.len();
+                    w.with_node(ids[k], |_n, ctx| {
+                        ctx.send(ids[(k + 7) % 16], Pm::Ping);
+                    });
+                }
+            }
+        }
+        assert_eq!(w.node_count(), 16);
+        out
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        let one = gossip_trace(1, ConstantLatency(Duration::from_millis(7)));
+        assert!(one.len() > 40, "workload must generate traffic");
+        for shards in [2usize, 3, 4, 8] {
+            assert_eq!(
+                gossip_trace(shards, ConstantLatency(Duration::from_millis(7))),
+                one,
+                "{shards}-shard run diverged from the single-queue engine"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_lookahead_still_deterministic() {
+        // a model with no guaranteed floor gives a zero lookahead: the
+        // window covers nothing and the engine degenerates to flushing
+        // the bus before every pop — slower, never wrong
+        let one = gossip_trace(1, NoFloor(Duration::from_millis(7)));
+        assert!(!one.is_empty());
+        for shards in [2usize, 4] {
+            assert_eq!(gossip_trace(shards, NoFloor(Duration::from_millis(7))), one);
+        }
+    }
+
+    #[test]
+    fn cross_shard_messages_deliver_through_the_bus() {
+        // two nodes at opposite ends of the ID space: with 2 shards the
+        // ping and pong must both cross the bus
+        let mut w: World<PingPong, _> = World::with_shards(
+            ConstantLatency(Duration::from_millis(10)),
+            1,
+            SchedulerKind::default(),
+            2,
+        );
+        let (a, b) = (NodeId(1), NodeId(u64::MAX - 1));
+        assert_ne!(w.shard_map().shard_of(a), w.shard_map().shard_of(b));
+        w.insert_node(
+            b,
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
+        w.insert_node(
+            a,
+            PingPong {
+                pongs: 0,
+                peer: Some(b),
+            },
+        );
+        let ctrl = w.run_until(SimTime::from_secs(1));
+        assert_eq!(ctrl, vec![(SimTime::from_millis(20), 1)]);
+        assert_eq!(w.node(a).unwrap().pongs, 1);
+    }
+
+    #[test]
+    fn churn_works_across_shards() {
+        let mut w: World<PingPong, _> = World::with_shards(
+            ConstantLatency(Duration::from_millis(10)),
+            1,
+            SchedulerKind::default(),
+            4,
+        );
+        let far = NodeId(u64::MAX / 2);
+        w.insert_node(
+            far,
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
+        assert!(w.is_alive(far));
+        assert_eq!(w.node_count(), 1);
+        // a message racing a removal is dropped, not misdelivered
+        w.insert_node(
+            NodeId(3),
+            PingPong {
+                pongs: 0,
+                peer: Some(far),
+            },
+        );
+        w.remove_node(far);
+        let ctrl = w.run_until(SimTime::from_secs(1));
+        assert!(ctrl.is_empty());
+        assert_eq!(w.dropped_to_dead(), 1);
+        assert_eq!(w.node_count(), 1);
     }
 }

@@ -17,6 +17,13 @@
 //! same ordering contract, so the choice ([`SchedulerKind`]) changes
 //! speed, never results.
 //!
+//! The engine also composes to *several* queues: a sharded world keeps
+//! one [`EventQueue`] per shard, assigns `(time, seq)` keys from one
+//! global counter ([`EventQueue::push_with_seq`]), merges heads with
+//! [`EventQueue::peek_key`], and bounds how far execution may run
+//! between cross-shard synchronization barriers with a conservative
+//! [`LookaheadWindow`] ([`window`]).
+//!
 //! Determinism contract: given the same master seed and the same sequence
 //! of `push` calls, `pop` returns events in an identical order (ties break
 //! by insertion sequence number) on every backend, so every experiment in
@@ -30,9 +37,11 @@ pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod time;
+pub mod window;
 
 pub use churn::ChurnProcess;
 pub use queue::EventQueue;
 pub use rng::{derive_rng, split_seed};
 pub use sched::{BinaryHeapScheduler, Scheduler, SchedulerKind, TimingWheel};
 pub use time::{Duration, SimTime};
+pub use window::LookaheadWindow;

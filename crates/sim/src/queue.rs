@@ -136,10 +136,41 @@ impl<E> EventQueue<E> {
         Some((t, e))
     }
 
+    /// Schedule `event` at `at` under a caller-supplied sequence number.
+    ///
+    /// This is the composition hook for multi-queue engines: a sharded
+    /// world assigns sequence numbers from one *global* counter so that
+    /// `(time, seq)` keys stay totally ordered across every shard's
+    /// queue, then pushes each event here. The queue's own counter is
+    /// bumped past `seq` so later [`EventQueue::push`] calls never
+    /// collide. Unlike `push`, `seq` need not arrive in increasing
+    /// order (a cross-shard bus flush delivers older-seq events late);
+    /// it must only be unique per queue.
+    ///
+    /// # Panics
+    /// Panics when `at` is in the past, exactly as [`EventQueue::push`].
+    pub fn push_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at:?} < {:?})",
+            self.now
+        );
+        self.seq = self.seq.max(seq.saturating_add(1));
+        self.backend.as_scheduler_mut().schedule(at, seq, event);
+    }
+
     /// Peek at the next event time without popping.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
         self.backend.as_scheduler().peek_time()
+    }
+
+    /// Peek at the next event's full `(time, seq)` ordering key without
+    /// popping — what a sharded engine compares across queues to find
+    /// the globally earliest event.
+    #[must_use]
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.backend.as_scheduler().peek_key()
     }
 
     /// Current simulation time (timestamp of the last popped event).
@@ -273,6 +304,38 @@ mod tests {
             let (t, _) = q.pop().unwrap();
             assert_eq!(t, SimTime::from_millis(3));
             assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        }
+    }
+
+    #[test]
+    fn peek_key_exposes_time_and_seq() {
+        for kind in all_kinds() {
+            let mut q = EventQueue::with_scheduler(kind);
+            assert_eq!(q.peek_key(), None);
+            q.push(SimTime::from_millis(5), "a"); // seq 0
+            q.push(SimTime::from_millis(5), "b"); // seq 1
+            assert_eq!(q.peek_key(), Some((SimTime::from_millis(5), 0)));
+            q.pop();
+            assert_eq!(q.peek_key(), Some((SimTime::from_millis(5), 1)));
+        }
+    }
+
+    #[test]
+    fn push_with_seq_orders_across_queues() {
+        // a sharded world interleaves one global counter over two
+        // queues; each queue must honour the supplied seq, including a
+        // bus-flushed event whose seq is older than a later local push
+        for kind in all_kinds() {
+            let t = SimTime::from_millis(3);
+            let mut q = EventQueue::with_scheduler(kind);
+            q.push_with_seq(t, 7, "late");
+            q.push_with_seq(t, 2, "early"); // flushed in after the fact
+            assert_eq!(q.peek_key(), Some((t, 2)));
+            assert_eq!(q.pop().unwrap().1, "early");
+            assert_eq!(q.pop().unwrap().1, "late");
+            // the internal counter moved past the largest supplied seq
+            q.push(t, "next");
+            assert_eq!(q.peek_key(), Some((t, 8)));
         }
     }
 

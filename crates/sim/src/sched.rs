@@ -34,8 +34,12 @@ use crate::time::SimTime;
 pub trait Scheduler<E> {
     /// Store `event` at `time` with insertion sequence number `seq`.
     ///
-    /// The caller guarantees `seq` is strictly increasing across calls
-    /// and `time` is never earlier than the last popped time.
+    /// The caller guarantees `seq` is globally unique and `time` is
+    /// never earlier than the last popped time. Sequence numbers
+    /// normally arrive strictly increasing; a sharded engine flushing a
+    /// cross-shard message bus may deliver an *older* (smaller-seq)
+    /// event after younger local ones, and backends must order those
+    /// correctly too.
     fn schedule(&mut self, time: SimTime, seq: u64, event: E);
 
     /// Remove and return the earliest `(time, event)` pair, breaking
@@ -44,6 +48,11 @@ pub trait Scheduler<E> {
 
     /// The timestamp of the next event without removing it.
     fn peek_time(&self) -> Option<SimTime>;
+
+    /// The full `(time, seq)` ordering key of the next event without
+    /// removing it — the hook a multi-queue (sharded) engine uses to
+    /// pick the globally earliest event across several backends.
+    fn peek_key(&self) -> Option<(SimTime, u64)>;
 
     /// Number of stored events.
     fn len(&self) -> usize;
@@ -156,6 +165,10 @@ impl<E> Scheduler<E> for BinaryHeapScheduler<E> {
 
     fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(Entry::key)
     }
 
     fn len(&self) -> usize {
@@ -407,6 +420,10 @@ impl<E> Scheduler<E> for TimingWheel<E> {
 
     fn peek_time(&self) -> Option<SimTime> {
         self.ready.last().map(|e| e.time)
+    }
+
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.ready.last().map(Entry::key)
     }
 
     fn len(&self) -> usize {

@@ -19,6 +19,7 @@ fn main() {
         octopus: OctopusConfig::for_network(n),
         lookups_enabled: true,
         scheduler: Default::default(),
+        shards: 1,
         ..SimConfig::default()
     };
     let report = SecuritySim::new(cfg).run();
