@@ -4,9 +4,13 @@
 //! staggered per-node gossip timers — half the traffic deliberately
 //! crossing the ID-space midpoint so multi-shard runs exercise the
 //! cross-shard bus and its lookahead barriers — and compare 1/2/4/8
-//! shards. Results are byte-identical at every shard count (pinned by
-//! the engine_determinism tests); this bench measures what the
-//! partition costs or saves in events per second.
+//! shards under three drive modes: the classic one-event-at-a-time
+//! `step` engine, sequential lookahead windows (`win`), and parallel
+//! windows with each shard's batch on its own thread (`par`). Results
+//! are byte-identical across all of it (pinned by the
+//! engine_determinism tests and the in-bench sanity sweep); this bench
+//! measures what the partition and the threads cost or save in events
+//! per second.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use octopus_bench::Scale;
@@ -69,9 +73,30 @@ fn node_ids(n: usize) -> Vec<Addr> {
     (0..n as u64).map(|i| NodeId(i * stride + i)).collect()
 }
 
+/// How the world is driven to idle.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Classic sequential engine: pop one global event at a time.
+    Step,
+    /// Lookahead windows, each shard's batch run inline.
+    Win,
+    /// Lookahead windows, each shard's batch on its own thread.
+    Par,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Step => "step",
+            Mode::Win => "win",
+            Mode::Par => "par",
+        }
+    }
+}
+
 /// Build the overlay and run `SIM_MILLIS` of gossip; returns total
-/// bytes shipped (for cross-shard-count sanity checks).
-fn drive(n: usize, shards: usize) -> u64 {
+/// bytes shipped (for cross-shard/mode sanity checks).
+fn drive(n: usize, shards: usize, mode: Mode) -> u64 {
     let ids = node_ids(n);
     let mut w: World<GossipNode, _> = World::with_shards(
         ConstantLatency(Duration::from_millis(40)),
@@ -79,6 +104,7 @@ fn drive(n: usize, shards: usize) -> u64 {
         SchedulerKind::default(),
         shards,
     );
+    w.set_parallel(mode == Mode::Par);
     for (i, &id) in ids.iter().enumerate() {
         w.insert_node(
             id,
@@ -89,15 +115,26 @@ fn drive(n: usize, shards: usize) -> u64 {
             },
         );
     }
-    while !matches!(w.step(), StepOutcome::Idle) {}
+    match mode {
+        Mode::Step => while !matches!(w.step(), StepOutcome::Idle) {},
+        Mode::Win | Mode::Par => while w.run_window(SimTime(u64::MAX)).is_some() {},
+    }
     w.ledger().total_bytes()
 }
 
 fn bench_sharded_world(c: &mut Criterion) {
-    // sanity at a cheap size: the bus must not change what happens
-    let reference = drive(1000, 1);
-    for shards in [2usize, 4, 8] {
-        assert_eq!(drive(1000, shards), reference, "{shards}-shard divergence");
+    // sanity at a cheap size: neither the bus nor the windows nor the
+    // threads may change what happens
+    let reference = drive(1000, 1, Mode::Step);
+    for shards in [1usize, 2, 4, 8] {
+        for mode in [Mode::Step, Mode::Win, Mode::Par] {
+            assert_eq!(
+                drive(1000, shards, mode),
+                reference,
+                "{shards}-shard {} divergence",
+                mode.name()
+            );
+        }
     }
 
     let n = match Scale::from_env() {
@@ -111,9 +148,15 @@ fn bench_sharded_world(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(events));
     for shards in [1usize, 2, 4, 8] {
-        g.bench_function(&format!("gossip_n{n}_shards{shards}"), |b| {
-            b.iter(|| drive(n, shards))
-        });
+        for mode in [Mode::Step, Mode::Win, Mode::Par] {
+            if mode == Mode::Par && shards == 1 {
+                continue; // parallel windows need at least two shards
+            }
+            g.bench_function(
+                &format!("gossip_n{n}_shards{shards}_{}", mode.name()),
+                |b| b.iter(|| drive(n, shards, mode)),
+            );
+        }
     }
     g.finish();
 }

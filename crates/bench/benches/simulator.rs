@@ -23,6 +23,7 @@ fn bench_sim(c: &mut Criterion) {
                 lookups_enabled: true,
                 scheduler: Default::default(),
                 shards: 1,
+                parallel: false,
             };
             SecuritySim::new(cfg).run()
         })

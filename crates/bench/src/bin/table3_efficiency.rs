@@ -35,6 +35,7 @@ fn octopus_config(args: &RunArgs, lookup_interval: Duration, secs: u64) -> SimCo
         lookups_enabled: true,
         scheduler: args.scheduler,
         shards: args.shards,
+        parallel: args.parallel,
     }
 }
 

@@ -17,6 +17,7 @@
 //! | `OCTOPUS_TRIALS` | `--trials` | independent trials merged per data point | 1 |
 //! | `OCTOPUS_SCHEDULER` | `--scheduler` | `timing-wheel` or `binary-heap` backend | `timing-wheel` |
 //! | `OCTOPUS_SHARDS` | `--shards` | world shards per simulation (results identical at any count) | 1 |
+//! | `OCTOPUS_PAR` | `--par` | parallel window execution across shards (results identical either way) | off |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -134,6 +135,10 @@ pub struct RunArgs {
     /// World shards per simulation. Like the scheduler backend, a pure
     /// speed/layout knob: results are identical at any shard count.
     pub shards: usize,
+    /// Parallel window execution: run each shard's in-window event
+    /// batch on its own thread between lookahead barriers. A pure speed
+    /// knob too — sequential and parallel runs are byte-identical.
+    pub parallel: bool,
 }
 
 impl Default for RunArgs {
@@ -145,6 +150,7 @@ impl Default for RunArgs {
             trials: 1,
             scheduler: SchedulerKind::default(),
             shards: 1,
+            parallel: false,
         }
     }
 }
@@ -190,6 +196,11 @@ impl RunArgs {
                     out.shards = s.max(1);
                 }
             }
+            "par" => match value {
+                "1" | "true" | "yes" | "on" => out.parallel = true,
+                "0" | "false" | "no" | "off" => out.parallel = false,
+                _ => {}
+            },
             _ => {}
         };
         for (env_key, key) in [
@@ -199,13 +210,21 @@ impl RunArgs {
             ("OCTOPUS_TRIALS", "trials"),
             ("OCTOPUS_SCHEDULER", "scheduler"),
             ("OCTOPUS_SHARDS", "shards"),
+            ("OCTOPUS_PAR", "par"),
         ] {
             if let Some(v) = env(env_key) {
                 apply(key, &v);
             }
         }
-        const KNOWN_FLAGS: [&str; 6] =
-            ["scale", "seed", "threads", "trials", "scheduler", "shards"];
+        const KNOWN_FLAGS: [&str; 7] = [
+            "scale",
+            "seed",
+            "threads",
+            "trials",
+            "scheduler",
+            "shards",
+            "par",
+        ];
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
             let Some(flag) = arg.strip_prefix("--") else {
@@ -213,6 +232,20 @@ impl RunArgs {
             };
             match flag.split_once('=') {
                 Some((key, value)) => apply(key, value),
+                None if flag == "par" => {
+                    // `--par` is a switch: consume the next token only
+                    // when it is an explicit on/off word, so a bare
+                    // `--par <bench-filter>` turns parallel on without
+                    // swallowing the filter.
+                    const PAR_WORDS: [&str; 8] =
+                        ["1", "true", "yes", "on", "0", "false", "no", "off"];
+                    if it.peek().is_some_and(|v| PAR_WORDS.contains(&v.as_str())) {
+                        let value = it.next().expect("peeked value exists");
+                        apply("par", value);
+                    } else {
+                        apply("par", "1");
+                    }
+                }
                 None => {
                     // Only a known flag may consume the next token as
                     // its value, and never one that is itself a flag —
@@ -258,6 +291,7 @@ impl RunArgs {
             lookups_enabled: true,
             scheduler: self.scheduler,
             shards: self.shards,
+            parallel: self.parallel,
         }
     }
 }
@@ -340,7 +374,38 @@ mod tests {
         assert!(a.threads >= 1);
         assert_eq!(a.scheduler, SchedulerKind::TimingWheel);
         assert_eq!(a.shards, 1);
+        assert!(!a.parallel);
         assert_eq!(a.seed_or(31), 31);
+    }
+
+    #[test]
+    fn par_flag_forms() {
+        // bare flag, even as the last token or followed by another flag
+        let bare: Vec<String> = ["--par"].iter().map(ToString::to_string).collect();
+        assert!(RunArgs::parse(&bare, no_env).parallel);
+        let before_flag: Vec<String> = ["--par", "--scale", "full"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let a = RunArgs::parse(&before_flag, no_env);
+        assert!(a.parallel);
+        assert_eq!(a.scale, Scale::Full);
+        // explicit values, both spellings
+        let off: Vec<String> = ["--par=0"].iter().map(ToString::to_string).collect();
+        let env_on = |k: &str| (k == "OCTOPUS_PAR").then(|| "1".to_string());
+        assert!(!RunArgs::parse(&off, env_on).parallel, "flag overrides env");
+        assert!(RunArgs::parse(&[], env_on).parallel);
+        let valued: Vec<String> = ["--par", "true"].iter().map(ToString::to_string).collect();
+        assert!(RunArgs::parse(&valued, no_env).parallel);
+        // a non-boolean token after --par is NOT swallowed: parallel
+        // turns on and the token stays available to later flags
+        let with_stray: Vec<String> = ["--par", "2", "--scale", "full"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let a = RunArgs::parse(&with_stray, no_env);
+        assert!(a.parallel);
+        assert_eq!(a.scale, Scale::Full);
     }
 
     #[test]
@@ -352,6 +417,7 @@ mod tests {
             "OCTOPUS_TRIALS" => Some("5".to_string()),
             "OCTOPUS_SCHEDULER" => Some("binary-heap".to_string()),
             "OCTOPUS_SHARDS" => Some("4".to_string()),
+            "OCTOPUS_PAR" => Some("1".to_string()),
             _ => None,
         };
         let a = RunArgs::parse(&[], env);
@@ -361,6 +427,7 @@ mod tests {
         assert_eq!(a.trials, 5);
         assert_eq!(a.scheduler, SchedulerKind::BinaryHeap);
         assert_eq!(a.shards, 4);
+        assert!(a.parallel);
     }
 
     #[test]
@@ -413,6 +480,7 @@ mod tests {
             "5",
             "--shards",
             "2",
+            "--par",
         ]
         .iter()
         .map(ToString::to_string)
@@ -423,6 +491,7 @@ mod tests {
         assert_eq!(c.seed, 5);
         assert_eq!(c.scheduler, SchedulerKind::BinaryHeap);
         assert_eq!(c.shards, 2);
+        assert!(c.parallel);
         assert!((c.attack_rate - 0.5).abs() < 1e-12);
     }
 }

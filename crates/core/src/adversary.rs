@@ -5,14 +5,18 @@
 //! with negligible delay. This module is that channel: a directory of
 //! live colluders plus the fabrication routines for each active attack.
 //!
-//! Malicious nodes hold an `Rc<RefCell<AdversaryState>>` so a successful
-//! fabrication by one node (e.g. "which colluder most closely succeeds
-//! this position?") reflects every colluder instantly — the paper's
-//! "high-speed communication channel" assumption.
+//! Malicious nodes hold a [`SharedAdversary`] (an `Arc<RwLock<…>>`) so a
+//! successful fabrication by one node (e.g. "which colluder most closely
+//! succeeds this position?") reflects every colluder instantly — the
+//! paper's "high-speed communication channel" assumption. Protocol code
+//! only ever *reads* the directory (the dice rolls draw from each
+//! node's own RNG stream), so parallel window execution can consult it
+//! from every shard thread concurrently; the single-threaded simulation
+//! driver takes the write lock between windows to enroll and remove
+//! colluders, which keeps every mutation at a deterministic point.
 
-use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use octopus_chord::signed::successor_list_table;
 use octopus_chord::{ChordConfig, SignedSuccessorList};
@@ -61,8 +65,29 @@ pub struct AdversaryState {
     keypairs: HashMap<NodeId, (KeyPair, Certificate)>,
 }
 
-/// Shared handle to the adversary.
-pub type SharedAdversary = Rc<RefCell<AdversaryState>>;
+/// Shared handle to the adversary: cheap to clone into every malicious
+/// node, readable from concurrent shard threads, writable only by the
+/// single-threaded driver between windows.
+#[derive(Clone, Debug)]
+pub struct SharedAdversary(Arc<RwLock<AdversaryState>>);
+
+impl SharedAdversary {
+    /// Read access (protocol fabrication paths; safe from any thread).
+    ///
+    /// # Panics
+    /// Panics if a previous lock holder panicked (poisoned lock).
+    pub fn read(&self) -> RwLockReadGuard<'_, AdversaryState> {
+        self.0.read().expect("adversary lock poisoned")
+    }
+
+    /// Write access (driver-side enroll/remove/share, between windows).
+    ///
+    /// # Panics
+    /// Panics if a previous lock holder panicked (poisoned lock).
+    pub fn write(&self) -> RwLockWriteGuard<'_, AdversaryState> {
+        self.0.write().expect("adversary lock poisoned")
+    }
+}
 
 impl AdversaryState {
     /// New adversary.
@@ -115,7 +140,7 @@ impl AdversaryState {
     /// Wrap in the shared handle.
     #[must_use]
     pub fn shared(self) -> SharedAdversary {
-        Rc::new(RefCell::new(self))
+        SharedAdversary(Arc::new(RwLock::new(self)))
     }
 
     /// The active attack.

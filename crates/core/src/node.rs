@@ -356,7 +356,7 @@ impl OctopusNode {
         stabilization: bool,
     ) -> Vec<NodeId> {
         if let Some(adv) = &self.adversary {
-            let adv = adv.borrow();
+            let adv = adv.read();
             let manipulate = match adv.kind() {
                 // lookup bias manipulates query responses AND pollutes
                 // stabilization (Fig. 2(a)/(b))
@@ -384,7 +384,7 @@ impl OctopusNode {
     /// The fingertable this node presents.
     pub(crate) fn presented_fingers(&self, rng: &mut impl Rng) -> Vec<NodeId> {
         if let Some(adv) = &self.adversary {
-            let adv = adv.borrow();
+            let adv = adv.read();
             let manipulate = matches!(
                 adv.kind(),
                 AttackKind::FingerManipulation | AttackKind::FingerPollution
@@ -404,7 +404,7 @@ impl OctopusNode {
     /// list" or be caught immediately).
     pub(crate) fn presented_predecessors(&self) -> Vec<NodeId> {
         if let Some(adv) = &self.adversary {
-            let adv = adv.borrow();
+            let adv = adv.read();
             if matches!(
                 adv.kind(),
                 AttackKind::FingerManipulation | AttackKind::FingerPollution
@@ -437,7 +437,7 @@ impl OctopusNode {
         let Some(adv) = &self.adversary else {
             return false;
         };
-        let adv = adv.borrow();
+        let adv = adv.read();
         adv.kind() == AttackKind::SelectiveDos && !adv.is_colluder(prev) && adv.attacks_now(rng)
     }
 
@@ -651,7 +651,7 @@ impl OctopusNode {
         }
         let ideal = self.chord().finger_target(self.id, slot);
         if let Some(adv) = &self.adversary {
-            let adv = adv.borrow();
+            let adv = adv.read();
             if matches!(
                 adv.kind(),
                 AttackKind::FingerManipulation | AttackKind::FingerPollution

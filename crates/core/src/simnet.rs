@@ -16,7 +16,7 @@ use octopus_chord::ChordConfig;
 use octopus_crypto::{CertificateAuthority, KeyPair};
 use octopus_id::{IdSpace, Key, NodeId};
 use octopus_metrics::{merge_point_series, Merge};
-use octopus_net::{Addr, Ctx, KingLikeLatency, NodeBehavior, StepOutcome, World};
+use octopus_net::{Addr, Ctx, KingLikeLatency, NodeBehavior, World};
 use octopus_sim::{derive_rng, ChurnProcess, Duration, SchedulerKind, SimTime};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -184,6 +184,12 @@ pub struct SimConfig {
     /// identical [`SimReport`] at every shard count (pinned by the
     /// `engine_determinism` regression tests).
     pub shards: usize,
+    /// Whether the world executes each shard's in-window event batch on
+    /// its own scoped thread between lookahead barriers
+    /// (`OCTOPUS_PAR`). Like `shards` and `scheduler`, a pure speed
+    /// knob: sequential and parallel windows produce byte-identical
+    /// reports (also pinned by `engine_determinism`).
+    pub parallel: bool,
 }
 
 impl Default for SimConfig {
@@ -201,6 +207,7 @@ impl Default for SimConfig {
             lookups_enabled: true,
             scheduler: SchedulerKind::default(),
             shards: 1,
+            parallel: false,
         }
     }
 }
@@ -422,7 +429,7 @@ impl SecuritySim {
         let adversary =
             AdversaryState::new(cfg.attack, cfg.attack_rate, cfg.consistent_collusion).shared();
         for &m in &malicious {
-            adversary.borrow_mut().enroll(m);
+            adversary.write().enroll(m);
         }
 
         // --- certificates & CA ---
@@ -441,12 +448,13 @@ impl SecuritySim {
         let latency = KingLikeLatency::new(octopus_sim::split_seed(cfg.seed, 7));
         let mut world: World<Actor, KingLikeLatency> =
             World::with_shards(latency, cfg.seed, cfg.scheduler, cfg.shards);
+        world.set_parallel(cfg.parallel);
         world.insert_node(CA_ADDR, Actor::Ca(Box::new(ca_node)));
 
         let chord = cfg.octopus.chord;
         for &m in &malicious {
             let (kp, cert) = keys.get(&m).expect("key exists");
-            adversary.borrow_mut().share_keys(m, kp.clone(), *cert);
+            adversary.write().share_keys(m, kp.clone(), *cert);
         }
         for &id in space.ids() {
             let (kp, cert) = keys.get(&id).expect("key exists");
@@ -519,6 +527,14 @@ impl SecuritySim {
     }
 
     /// Run to completion and produce the report.
+    ///
+    /// Execution is windowed: the world runs one conservative lookahead
+    /// window at a time ([`World::run_window`] — each shard's in-window
+    /// batch on its own thread when [`SimConfig::parallel`] is set),
+    /// and the driver folds the window's control events, in global
+    /// `(time, key)` order, between barriers. Scheduler backend, shard
+    /// count and execution mode are all pure speed knobs: a fixed seed
+    /// yields a byte-identical report under every combination.
     pub fn run(&mut self) -> SimReport {
         let mut report = SimReport {
             trials: 1,
@@ -527,22 +543,9 @@ impl SecuritySim {
         let end = SimTime::ZERO + self.cfg.duration;
         let bin = 10.0; // seconds per CA-workload bin
         let mut ca_bins: Vec<f64> = vec![0.0; (self.cfg.duration.as_secs_f64() / bin) as usize + 1];
-        loop {
-            if self.world.now() > end {
-                break;
-            }
-            let outcome = self.world.step();
-            let now = self.world.now();
-            if now > end {
-                break;
-            }
-            let controls = match outcome {
-                StepOutcome::Idle => break,
-                StepOutcome::Control(c) => vec![c],
-                StepOutcome::Protocol(cs) => cs,
-            };
-            for c in controls {
-                self.handle_control(c, now, &mut report, &mut ca_bins, bin);
+        while let Some(controls) = self.world.run_window(end) {
+            for (t, c) in controls {
+                self.handle_control(c, t, &mut report, &mut ca_bins, bin);
             }
         }
         report.ca_messages = ca_bins
@@ -682,7 +685,7 @@ impl SecuritySim {
     fn apply_revocation(&mut self, id: NodeId) {
         self.revoked.insert(id);
         self.unrevoked_malicious.remove(&id);
-        self.adversary.borrow_mut().remove(id);
+        self.adversary.write().remove(id);
         self.space.remove(id);
         self.world.remove_node(id);
     }
@@ -693,7 +696,7 @@ impl SecuritySim {
         }
         self.world.remove_node(id);
         self.space.remove(id);
-        self.adversary.borrow_mut().remove(id);
+        self.adversary.write().remove(id);
         self.with_ca(|ca| ca.note_death(id, now.as_secs_f64() as u64));
         let gap = self
             .churn
@@ -710,7 +713,7 @@ impl SecuritySim {
         self.space.insert(id);
         let malicious = self.initial_malicious.contains(&id);
         if malicious {
-            self.adversary.borrow_mut().enroll(id);
+            self.adversary.write().enroll(id);
         }
         let (kp, cert) = self.keys.get(&id).expect("keys exist").clone();
         let ca_key = self.with_ca_ref(|ca| ca.public_key());
@@ -734,9 +737,7 @@ impl SecuritySim {
         );
         if malicious {
             let (kp, cert) = self.keys.get(&id).expect("keys exist");
-            self.adversary
-                .borrow_mut()
-                .share_keys(id, kp.clone(), *cert);
+            self.adversary.write().share_keys(id, kp.clone(), *cert);
         }
         self.world.insert_node(id, Actor::Peer(Box::new(node)));
         self.with_ca(|ca| ca.note_join(id, now.as_secs_f64() as u64));

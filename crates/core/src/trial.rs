@@ -139,6 +139,9 @@ impl TrialRunner {
     /// `base` — through *one* thread-pool batch, and return one merged
     /// report per shard count, in order. Shard counts and trials share
     /// the workers, so even a single-trial sweep saturates the machine.
+    /// `base.parallel` (sequential vs parallel windows) applies to
+    /// every grid point; cross it too with
+    /// [`TrialRunner::run_mode_sweep`].
     ///
     /// Because sharding never changes results, every returned report is
     /// identical; the grid exists to *measure* shard configurations
@@ -170,6 +173,51 @@ impl TrialRunner {
                     .collect::<Accumulator<SimReport>>()
                     .into_inner()
                     .expect("at least one trial per shard count")
+            })
+            .collect()
+    }
+
+    /// Run the shards × execution-mode × trials grid: every shard count
+    /// in `shard_counts` crossed with both window execution modes
+    /// (sequential, then parallel) and `trials` seeded repetitions of
+    /// `base`, all through one thread-pool batch. Returns
+    /// `(shards, parallel, merged report)` per grid point, in
+    /// shards-major order.
+    ///
+    /// Like the plain shard sweep, every report is identical by the
+    /// determinism contract — the grid exists for benchmarking and for
+    /// the `engine_determinism` regressions that enforce exactly that.
+    #[must_use]
+    pub fn run_mode_sweep(
+        &self,
+        base: &SimConfig,
+        shard_counts: &[usize],
+        trials: usize,
+    ) -> Vec<(usize, bool, SimReport)> {
+        let trials = trials.max(1);
+        let grid: Vec<(usize, bool)> = shard_counts
+            .iter()
+            .flat_map(|&s| [(s, false), (s, true)])
+            .collect();
+        let configs: Vec<SimConfig> = grid
+            .iter()
+            .flat_map(|&(shards, parallel)| {
+                let mut b = base.clone();
+                b.shards = shards;
+                b.parallel = parallel;
+                trial_configs(&b, trials)
+            })
+            .collect();
+        let mut reports = self.run(&configs).into_iter();
+        grid.into_iter()
+            .map(|(shards, parallel)| {
+                let merged = reports
+                    .by_ref()
+                    .take(trials)
+                    .collect::<Accumulator<SimReport>>()
+                    .into_inner()
+                    .expect("at least one trial per grid point");
+                (shards, parallel, merged)
             })
             .collect()
     }

@@ -21,6 +21,7 @@ fn diagnose_passive() {
         lookups_enabled: true,
         scheduler: Default::default(),
         shards: 1,
+        parallel: false,
     };
     let mut sim = SecuritySim::new(cfg);
     let report = sim.run_debug();

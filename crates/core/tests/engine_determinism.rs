@@ -1,8 +1,14 @@
 //! Engine-level determinism regressions: the same seeded experiment
 //! must produce byte-identical reports across scheduler backends,
-//! across trial-runner thread counts, and across world shard counts.
-//! These guard the engine's core promise — backends, parallelism and
-//! partitioning change speed, never results.
+//! across trial-runner thread counts, across world shard counts, and
+//! across window execution modes (sequential vs parallel shard
+//! threads). These guard the engine's core promise — backends,
+//! parallelism and partitioning change speed, never results.
+//!
+//! CI additionally drives this suite across an `OCTOPUS_SHARDS` ×
+//! `OCTOPUS_PAR` matrix (see `determinism_under_env_matrix`), so
+//! sequential/parallel equivalence is enforced on every push for every
+//! matrix point, not just the combinations hard-coded below.
 
 use octopus_core::{
     trial_configs, AttackKind, OctopusConfig, SchedulerKind, SecuritySim, SimConfig, TrialRunner,
@@ -51,9 +57,9 @@ fn trial_runner_merge_is_thread_count_invariant() {
 }
 
 /// A fixed-seed `SecuritySim` produces identical `SimReport`s at 1, 2,
-/// and 4 shards: the sharded world's global `(time, seq)` execution
-/// order makes the partition — like the scheduler backend — a pure
-/// speed/layout knob that can never change results.
+/// and 4 shards: origin-derived `(time, key)` event ordering makes the
+/// partition — like the scheduler backend — a pure speed/layout knob
+/// that can never change results.
 #[test]
 fn security_sim_identical_across_shard_counts() {
     let report_at = |shards: usize| {
@@ -89,6 +95,85 @@ fn sharded_runs_identical_across_scheduler_backends() {
     assert_eq!(
         run(SchedulerKind::BinaryHeap),
         run(SchedulerKind::TimingWheel)
+    );
+}
+
+/// The acceptance cube: a fixed-seed `SecuritySim` produces
+/// byte-identical `SimReport`s for **every** combination of shard count
+/// {1, 2, 4}, execution mode {sequential, parallel windows}, and
+/// scheduler backend {binary heap, timing wheel}.
+#[test]
+fn security_sim_identical_across_modes_shards_and_backends() {
+    let report_at = |shards: usize, parallel: bool, kind: SchedulerKind| {
+        let cfg = SimConfig {
+            shards,
+            parallel,
+            ..small(17, kind)
+        };
+        SecuritySim::new(cfg).run()
+    };
+    let baseline = report_at(1, false, SchedulerKind::TimingWheel);
+    assert!(
+        baseline.completed_lookups > 0 || baseline.walks_ok > 0,
+        "run must exercise the protocol"
+    );
+    for shards in [1usize, 2, 4] {
+        for parallel in [false, true] {
+            for kind in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+                let probe = report_at(shards, parallel, kind);
+                assert_eq!(
+                    baseline, probe,
+                    "{shards}-shard parallel={parallel} {kind:?} run diverged"
+                );
+                assert_eq!(format!("{baseline:?}"), format!("{probe:?}"));
+            }
+        }
+    }
+}
+
+/// `TrialRunner::run_mode_sweep` composes the shards × mode grid
+/// through one batch, and every grid point matches.
+#[test]
+fn mode_sweep_grid_is_invariant() {
+    let base = small(29, SchedulerKind::default());
+    let grid = TrialRunner::new(4).run_mode_sweep(&base, &[1, 2], 2);
+    assert_eq!(grid.len(), 4);
+    assert_eq!(
+        grid.iter().map(|&(s, p, _)| (s, p)).collect::<Vec<_>>(),
+        vec![(1, false), (1, true), (2, false), (2, true)]
+    );
+    for (shards, parallel, report) in &grid {
+        assert_eq!(report.trials, 2);
+        assert_eq!(
+            report, &grid[0].2,
+            "{shards}-shard parallel={parallel} grid point diverged"
+        );
+    }
+}
+
+/// The CI matrix hook: run the configuration selected by
+/// `OCTOPUS_SHARDS` and `OCTOPUS_PAR` (defaulting to the 1-shard
+/// sequential engine) against the 1-shard sequential baseline. The CI
+/// workflow fans this test across the full env matrix on every push.
+#[test]
+fn determinism_under_env_matrix() {
+    let shards = std::env::var("OCTOPUS_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    let parallel = std::env::var("OCTOPUS_PAR")
+        .is_ok_and(|v| matches!(v.as_str(), "1" | "true" | "yes" | "on"));
+    let baseline = SecuritySim::new(small(37, SchedulerKind::default())).run();
+    let probe = SecuritySim::new(SimConfig {
+        shards,
+        parallel,
+        ..small(37, SchedulerKind::default())
+    })
+    .run();
+    assert_eq!(
+        baseline, probe,
+        "{shards}-shard parallel={parallel} env-matrix run diverged from the sequential baseline"
     );
 }
 

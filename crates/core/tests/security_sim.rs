@@ -20,6 +20,7 @@ fn base(attack: AttackKind, seed: u64) -> SimConfig {
         lookups_enabled: true,
         scheduler: Default::default(),
         shards: 1,
+        parallel: false,
     }
 }
 

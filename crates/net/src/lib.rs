@@ -18,12 +18,16 @@
 //! (footnote 4).
 //!
 //! For large rings the world is *sharded* ([`shard`]): contiguous ID
-//! ranges ([`shard::ShardMap`]) each own a node slab ([`slab`]) and an
-//! event queue, linked by a cross-shard message bus
-//! ([`shard::CrossShardBus`]) that synchronizes conservatively at
-//! lookahead barriers bounded by [`LatencyModel::min_latency`]. Events
-//! always execute in one global `(time, seq)` order, so any shard count
-//! — including 1, the classic single-queue engine — produces
+//! ranges ([`shard::ShardMap`]) each own a node slab ([`slab`]), an
+//! event queue, pooled scratch buffers and a bandwidth-ledger slice,
+//! linked by a cross-shard message bus ([`shard::CrossShardBus`]) that
+//! synchronizes conservatively at lookahead barriers bounded by
+//! [`LatencyModel::min_latency`]. Every event's `(time, key)` ordering
+//! key derives from its origin node — no shard-dependent counters — so
+//! any shard count, either window execution mode
+//! ([`world::World::run_window`] runs shard batches on scoped threads
+//! when [`world::World::set_parallel`] is on), and 1 shard in
+//! particular (the classic single-queue engine) all produce
 //! byte-identical results.
 
 #![forbid(unsafe_code)]

@@ -91,8 +91,10 @@ impl ShardMap {
 pub struct Envelope<M> {
     /// Delivery time (send time + link latency + artificial delay).
     pub at: SimTime,
-    /// Global sequence number, assigned when the send was routed.
-    pub seq: u64,
+    /// Packed `(lane, origin, counter)` tie-break key, assigned from the
+    /// sender's own counter when the send was routed — no cross-shard
+    /// coordination needed.
+    pub seq: u128,
     /// Sender address.
     pub from: Addr,
     /// Destination address.

@@ -107,6 +107,21 @@ impl BandwidthLedger {
         per_node_bytes * 8.0 / 1000.0 / secs
     }
 
+    /// Fold another ledger's counters into this one. A sharded world
+    /// keeps one ledger slice per shard (each accounts the traffic its
+    /// own nodes send) and absorbs the slices into one ledger for
+    /// reporting; addition is commutative, so the merge order can never
+    /// change the result.
+    pub fn absorb(&mut self, other: &BandwidthLedger) {
+        for (&node, &bytes) in &other.sent {
+            *self.sent.entry(node).or_default() += bytes;
+        }
+        for (&node, &bytes) in &other.received {
+            *self.received.entry(node).or_default() += bytes;
+        }
+        self.total += other.total;
+    }
+
     /// Reset all counters (e.g. after a warm-up phase).
     pub fn reset(&mut self) {
         self.sent.clear();

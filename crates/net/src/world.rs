@@ -4,30 +4,56 @@
 //! routes typed messages through the latency model, delivers timers, and
 //! accounts bandwidth. Control events let a driver (e.g. the security
 //! simulator in `octopus-core::simnet`) interleave churn and measurement
-//! with protocol execution without borrowing conflicts: [`World::step`]
-//! returns control events to the caller instead of invoking callbacks.
+//! with protocol execution without borrowing conflicts: the world hands
+//! control events back to the caller instead of invoking callbacks.
 //!
 //! Storage and dispatch are built for scale. The ring is partitioned
 //! into contiguous ID ranges ([`ShardMap`]), each owned
 //! by a shard with its own generational [`NodeSlab`] (nodes colocated
-//! with their RNG streams, `O(1)` slot take/restore dispatch) and its
-//! own event queue; per-event outbox/timer/control buffers behind a
-//! [`Ctx`] are pooled and reused instead of allocated per event.
+//! with their RNG streams and event counters, `O(1)` slot take/restore
+//! dispatch), its own event queue, its own pooled [`Ctx`] scratch
+//! buffers, and its own slice of the bandwidth ledger — a shard shares
+//! *nothing* mutable with its siblings, which is what lets
+//! [`World::run_window`] execute shard batches on scoped threads.
 //!
-//! Sharding never changes results. Every event carries a `(time, seq)`
-//! key from one global counter; execution always pops the globally
-//! smallest key across all shard queues, so the event order — and
-//! therefore every simulation result — is byte-identical for any shard
-//! count, and a 1-shard world *is* the classic single-queue engine.
+//! Sharding never changes results. Every event carries a
+//! `(time, key)` ordering key whose tie-break packs
+//! `(lane, origin, counter)`: the address of the node that created the
+//! event plus that node's own monotone counter (driver events ride a
+//! lane that sorts first). Keys are therefore assignable with no
+//! cross-shard coordination, yet identical for every shard count —
+//! a node's counter advances with its own execution, which the
+//! conservative synchronization below keeps shard-count-independent.
+//! Per-message latency jitter is equally coordination-free: each send
+//! draws from a stateless RNG stream keyed by `(sender, counter)`
+//! instead of a shared sequential transport RNG, so the draw depends
+//! only on *which* message is sent, never on global execution order.
+//!
 //! Cross-shard messages park in a [`CrossShardBus`]
 //! and are flushed at conservative barriers bounded by the latency
 //! model's guaranteed floor ([`LatencyModel::min_latency`], the
 //! lookahead of [`octopus_sim::LookaheadWindow`]): a message sent at
 //! `t` cannot arrive before `t + lookahead`, so parking it until the
 //! window closes can never deliver it late.
+//!
+//! Two drive styles share all of that machinery:
+//!
+//! * [`World::step`] / [`World::run_until`] — the classic sequential
+//!   engine: pop the globally smallest `(time, key)` across all shard
+//!   queues, one event at a time.
+//! * [`World::run_window`] — windowed execution: open a lookahead
+//!   window, run *every* shard's in-window batch (on its own scoped
+//!   thread when [`World::set_parallel`] is on), then merge envelopes
+//!   and emitted control events by key at the barrier. Sequential and
+//!   parallel windows are byte-identical by construction — threads
+//!   change wall-clock time, never state.
+
+use std::collections::HashMap;
 
 use octopus_id::NodeId;
-use octopus_sim::{derive_rng, Duration, EventQueue, LookaheadWindow, SchedulerKind, SimTime};
+use octopus_sim::{
+    derive_rng, split_seed, Duration, EventQueue, LookaheadWindow, SchedulerKind, SimTime,
+};
 use rand::rngs::StdRng;
 
 use crate::latency::LatencyModel;
@@ -73,7 +99,7 @@ pub trait NodeBehavior {
 /// Handler context: lets a node send messages, set timers, emit control
 /// events, and draw randomness — all without direct access to the world.
 ///
-/// The buffers behind a `Ctx` are owned by the world's buffer pool and
+/// The buffers behind a `Ctx` are owned by the shard's buffer pool and
 /// reused across events; handlers only ever see them empty.
 pub struct Ctx<'a, M, T, C> {
     now: SimTime,
@@ -125,15 +151,12 @@ impl<M, T, C> Ctx<'_, M, T, C> {
     }
 }
 
-enum Event<M, T, C> {
+/// A protocol event on a shard queue (driver controls live on their own
+/// world-level queue).
+enum Event<M, T> {
     Deliver { from: Addr, to: Addr, msg: M },
     Timer { node: Addr, timer: T },
-    Control(C),
 }
-
-/// The event type of a [`NodeBehavior`]'s world, spelled once.
-type EventOf<B> =
-    Event<<B as NodeBehavior>::Msg, <B as NodeBehavior>::Timer, <B as NodeBehavior>::Control>;
 
 /// What a single [`World::step`] produced.
 pub enum StepOutcome<C> {
@@ -142,15 +165,42 @@ pub enum StepOutcome<C> {
     Protocol(Vec<C>),
     /// A driver-scheduled control event came due.
     Control(C),
-    /// The event queue is exhausted.
+    /// The event queue is exhausted (or, for
+    /// [`World::run_until`], drained up to the deadline).
     Idle,
 }
 
-/// A hosted node plus its deterministic RNG stream, colocated in one
-/// slab slot so event dispatch touches a single entry.
+/// Lane bit of an event key: protocol-origin keys sort after driver
+/// keys at a timestamp tie.
+const PROTO_LANE: u128 = 1 << 127;
+
+/// Pack a protocol event's tie-break key: the creating node's address
+/// in the high bits, its per-node event counter in the low bits. Unique
+/// (each counter value is consumed once per origin), totally ordered,
+/// and — because a node's counter advances with its own deterministic
+/// execution — identical for every shard count and execution mode.
+fn proto_key(origin: Addr, counter: u64) -> u128 {
+    debug_assert!(counter < (1 << 63), "per-origin event counter overflow");
+    PROTO_LANE | (u128::from(origin.0) << 63) | u128::from(counter)
+}
+
+/// A hosted node plus its deterministic RNG stream and event counter,
+/// colocated in one slab slot so event dispatch touches a single entry.
 struct Hosted<B> {
     node: B,
     rng: StdRng,
+    /// This node's monotone event counter: the tie-break source for
+    /// every message, timer and control it creates, and the index of
+    /// each sent message's stateless transport-jitter stream.
+    counter: u64,
+}
+
+impl<B> Hosted<B> {
+    fn next_counter(&mut self) -> u64 {
+        let c = self.counter;
+        self.counter += 1;
+        c
+    }
 }
 
 /// Reusable per-event scratch buffers (the backing store of [`Ctx`]).
@@ -170,11 +220,188 @@ impl<M, T, C> Default for BufferPool<M, T, C> {
     }
 }
 
-/// One partition of the world: the nodes in a contiguous ID range plus
-/// the event queue for everything addressed to them.
+/// The read-only execution environment a shard batch runs against:
+/// everything a shard needs besides its own state, shareable across
+/// scoped threads.
+struct ShardCtx<'a, L> {
+    map: ShardMap,
+    latency: &'a L,
+    master_seed: u64,
+    /// The monotone lookahead bound every cross-shard send must respect
+    /// (the park-assert obligation).
+    window_end: SimTime,
+    /// Exclusive execution bound of the current window batch.
+    exec_end: SimTime,
+}
+
+impl<L> Clone for ShardCtx<'_, L> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<L> Copy for ShardCtx<'_, L> {}
+
+/// One partition of the world: the nodes in a contiguous ID range, the
+/// event queue for everything addressed to them, and every mutable
+/// resource their execution touches — pooled buffers, a bandwidth
+/// ledger slice, drop counters, outgoing envelope lanes and emitted
+/// controls. Nothing here is shared with other shards, so a window
+/// batch can run on its own thread.
 struct Shard<B: NodeBehavior> {
+    index: usize,
     nodes: NodeSlab<Hosted<B>>,
-    queue: EventQueue<Event<B::Msg, B::Timer, B::Control>>,
+    queue: EventQueue<Event<B::Msg, B::Timer>>,
+    pool: BufferPool<B::Msg, B::Timer, B::Control>,
+    /// Bytes sent by this shard's nodes (merged on demand by
+    /// [`World::ledger`]).
+    ledger: BandwidthLedger,
+    /// Messages dropped because their destination had left the overlay.
+    dropped_to_dead: u64,
+    /// Cross-shard envelopes produced by the current batch, one lane
+    /// per destination shard; moved into the world bus at the barrier.
+    outgoing: Vec<Vec<Envelope<B::Msg>>>,
+    /// Controls emitted by the current batch, tagged with emission time
+    /// and key; sorted into one stream at the barrier.
+    emitted: Vec<(SimTime, u128, B::Control)>,
+    /// Timestamp of the last event this shard executed.
+    last_exec: SimTime,
+}
+
+impl<B: NodeBehavior> Shard<B> {
+    /// Run `f` against `hosted` with a pooled context, then flush what
+    /// it produced: messages are routed (local push or outgoing lane),
+    /// timers land on this shard's own queue, controls accumulate in
+    /// [`Shard::emitted`] with fresh keys from the node's counter.
+    fn dispatch<L: LatencyModel, F>(
+        &mut self,
+        ctx: &ShardCtx<'_, L>,
+        now: SimTime,
+        addr: Addr,
+        hosted: &mut Hosted<B>,
+        f: F,
+    ) where
+        F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
+    {
+        let mut outbox = std::mem::take(&mut self.pool.outbox);
+        let mut timers = std::mem::take(&mut self.pool.timers);
+        let mut controls = std::mem::take(&mut self.pool.controls);
+        debug_assert!(outbox.is_empty() && timers.is_empty() && controls.is_empty());
+        let mut cx = Ctx {
+            now,
+            self_addr: addr,
+            rng: &mut hosted.rng,
+            outbox: &mut outbox,
+            timers: &mut timers,
+            controls: &mut controls,
+        };
+        f(&mut hosted.node, &mut cx);
+        for send in outbox.drain(..) {
+            let counter = hosted.next_counter();
+            self.route(ctx, now, (addr, counter), send);
+        }
+        for (delay, timer) in timers.drain(..) {
+            let key = proto_key(addr, hosted.next_counter());
+            self.queue
+                .push_with_seq(now + delay, key, Event::Timer { node: addr, timer });
+        }
+        for c in controls.drain(..) {
+            let key = proto_key(addr, hosted.next_counter());
+            self.emitted.push((now, key, c));
+        }
+        self.pool.outbox = outbox;
+        self.pool.timers = timers;
+        self.pool.controls = controls;
+    }
+
+    /// Route one message: account bandwidth on this (the sender's)
+    /// shard, draw the latency from the message's own stateless jitter
+    /// stream, and either push locally or park on the outgoing lane.
+    /// `origin` is the sender's `(address, counter)` key source, `send`
+    /// the outbox entry `(to, msg, extra delay)`.
+    fn route<L: LatencyModel>(
+        &mut self,
+        ctx: &ShardCtx<'_, L>,
+        now: SimTime,
+        origin: (Addr, u64),
+        send: (Addr, B::Msg, Duration),
+    ) {
+        let (from, counter) = origin;
+        let (to, msg, extra) = send;
+        let bytes = msg.wire_bytes();
+        self.ledger.record(from, to, bytes);
+        // Stateless, order-independent draw: the stream is keyed by
+        // (sender, per-sender counter), so the same message gets the
+        // same latency no matter which thread routes it or what else
+        // happened first.
+        let mut rng = derive_rng(split_seed(ctx.master_seed, from.0), b"transport", counter);
+        let lat = ctx.latency.sample(from, to, &mut rng);
+        let at = now + extra + lat;
+        let key = proto_key(from, counter);
+        let dest = ctx.map.shard_of(to);
+        if dest == self.index {
+            self.queue
+                .push_with_seq(at, key, Event::Deliver { from, to, msg });
+        } else {
+            // Conservative-sync soundness: the window's end never
+            // exceeds now + lookahead, and lat >= lookahead, so a
+            // parked message is always due at or beyond the window. A
+            // violation means the latency model's min_latency() lied
+            // about its floor — fail loudly rather than let release
+            // builds silently produce shard-count-dependent results.
+            assert!(
+                at >= ctx.window_end,
+                "cross-shard message due inside the lookahead window: \
+                 the latency model's min_latency() exceeds an actual sample"
+            );
+            self.outgoing[dest].push(Envelope {
+                at,
+                seq: key,
+                from,
+                to,
+                msg,
+            });
+        }
+    }
+
+    /// Pop and execute this shard's head event (the caller has
+    /// established it is due).
+    fn run_one<L: LatencyModel>(&mut self, ctx: &ShardCtx<'_, L>) {
+        let Some((at, ev)) = self.queue.pop() else {
+            return;
+        };
+        self.last_exec = at;
+        match ev {
+            Event::Deliver { from, to, msg } => {
+                let Some((key, mut hosted)) = self.nodes.take(to) else {
+                    self.dropped_to_dead += 1;
+                    return;
+                };
+                self.dispatch(ctx, at, to, &mut hosted, |node, cx| {
+                    node.on_message(cx, from, msg);
+                });
+                self.nodes.restore(to, key, hosted);
+            }
+            Event::Timer { node: addr, timer } => {
+                let Some((key, mut hosted)) = self.nodes.take(addr) else {
+                    return; // timer of a dead node
+                };
+                self.dispatch(ctx, at, addr, &mut hosted, |node, cx| {
+                    node.on_timer(cx, timer);
+                });
+                self.nodes.restore(addr, key, hosted);
+            }
+        }
+    }
+
+    /// Execute every event strictly before `ctx.exec_end`, in local key
+    /// order — the per-shard body of one window. Timers landing inside
+    /// the window are picked up; messages cannot land inside it (their
+    /// latency floor carries them to `exec_end` or beyond).
+    fn run_batch<L: LatencyModel>(&mut self, ctx: &ShardCtx<'_, L>) {
+        while self.queue.peek_time().is_some_and(|t| t < ctx.exec_end) {
+            self.run_one(ctx);
+        }
+    }
 }
 
 /// The simulated network world, partitioned into one or more shards.
@@ -183,17 +410,23 @@ pub struct World<B: NodeBehavior, L: LatencyModel> {
     map: ShardMap,
     bus: CrossShardBus<B::Msg>,
     window: LookaheadWindow,
-    /// Global insertion counter: the second half of every event's
-    /// `(time, seq)` ordering key, shared by all shards.
-    seq: u64,
-    /// Timestamp of the last event popped from any shard.
+    /// Driver-scheduled and driver-queued control events, on their own
+    /// lane so windows know the next driver interruption in `O(1)`.
+    controls: EventQueue<B::Control>,
+    /// The driver's own event counter (lane-0 keys sort before every
+    /// protocol key at a timestamp tie).
+    driver_seq: u64,
+    /// Event counters of previously removed nodes: a rejoining address
+    /// resumes where it left off, so keys from its new life can never
+    /// collide with keys its old life left in flight.
+    counter_floor: HashMap<Addr, u64>,
+    /// Timestamp of the last event executed anywhere (monotone).
     now: SimTime,
-    pool: BufferPool<B::Msg, B::Timer, B::Control>,
     latency: L,
-    ledger: BandwidthLedger,
     master_seed: u64,
-    transport_rng: StdRng,
-    dropped_to_dead: u64,
+    /// Whether [`World::run_window`] fans shard batches across scoped
+    /// threads. A pure speed knob: results are byte-identical.
+    parallel: bool,
 }
 
 impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
@@ -219,8 +452,9 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     ///
     /// Sharding is observationally identical too: a fixed-seed run
     /// produces byte-identical results at every shard count, because
-    /// events execute in one global `(time, seq)` order regardless of
-    /// which shard's queue holds them.
+    /// event keys are derived from their *origin node* — not from any
+    /// shard-dependent counter — and conservative synchronization keeps
+    /// every node's execution order partition-independent.
     #[must_use]
     pub fn with_shards(
         latency: L,
@@ -232,23 +466,43 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         let lookahead = latency.min_latency();
         World {
             shards: (0..map.count())
-                .map(|_| Shard {
+                .map(|index| Shard {
+                    index,
                     nodes: NodeSlab::new(),
                     queue: EventQueue::with_scheduler(scheduler),
+                    pool: BufferPool::default(),
+                    ledger: BandwidthLedger::new(),
+                    dropped_to_dead: 0,
+                    outgoing: (0..map.count()).map(|_| Vec::new()).collect(),
+                    emitted: Vec::new(),
+                    last_exec: SimTime::ZERO,
                 })
                 .collect(),
             bus: CrossShardBus::new(map.count()),
             map,
             window: LookaheadWindow::new(lookahead),
-            seq: 0,
+            controls: EventQueue::with_scheduler(scheduler),
+            driver_seq: 0,
+            counter_floor: HashMap::new(),
             now: SimTime::ZERO,
-            pool: BufferPool::default(),
             latency,
-            ledger: BandwidthLedger::new(),
             master_seed,
-            transport_rng: derive_rng(master_seed, b"transport", 0),
-            dropped_to_dead: 0,
+            parallel: false,
         }
+    }
+
+    /// Turn parallel window execution on or off (default off). Only
+    /// [`World::run_window`] looks at this; with it on, each shard's
+    /// in-window batch runs on its own scoped thread between barriers.
+    /// Results are byte-identical either way.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Whether windowed execution fans out across threads.
+    #[must_use]
+    pub fn parallel(&self) -> bool {
+        self.parallel
     }
 
     /// Current simulation time.
@@ -269,21 +523,24 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         self.map
     }
 
-    /// The bandwidth ledger.
+    /// The bandwidth ledger, merged across shard slices. Each shard
+    /// accounts the traffic its own nodes send; this folds the slices
+    /// into one report-ready ledger (an `O(nodes)` copy — call it for
+    /// reporting, not per event).
     #[must_use]
-    pub fn ledger(&self) -> &BandwidthLedger {
-        &self.ledger
+    pub fn ledger(&self) -> BandwidthLedger {
+        let mut merged = BandwidthLedger::new();
+        for shard in &self.shards {
+            merged.absorb(&shard.ledger);
+        }
+        merged
     }
 
-    /// Mutable access to the ledger (e.g. to reset after warm-up).
-    pub fn ledger_mut(&mut self) -> &mut BandwidthLedger {
-        &mut self.ledger
-    }
-
-    /// Messages dropped because their destination had left the overlay.
+    /// Messages dropped because their destination had left the overlay
+    /// (summed across shards).
     #[must_use]
     pub fn dropped_to_dead(&self) -> u64 {
-        self.dropped_to_dead
+        self.shards.iter().map(|s| s.dropped_to_dead).sum()
     }
 
     /// Number of live nodes across all shards.
@@ -320,35 +577,55 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     }
 
     /// Insert a node into its ID range's shard and run its `on_start`
-    /// hook.
+    /// hook. A previously removed address resumes its event counter, so
+    /// rejoin (churn) can never mint keys that collide with events the
+    /// old incarnation left pending.
     pub fn insert_node(&mut self, addr: Addr, node: B) {
         let rng = derive_rng(self.master_seed, b"node", addr.0);
-        let mut hosted = Hosted { node, rng };
-        self.dispatch(addr, &mut hosted, |node, ctx| node.on_start(ctx));
+        let counter = self.counter_floor.get(&addr).copied().unwrap_or(0);
+        let mut hosted = Hosted { node, rng, counter };
+        self.driver_dispatch(addr, &mut hosted, |node, ctx| node.on_start(ctx));
         self.shard_mut(addr).nodes.insert(addr, hosted);
     }
 
     /// Remove a node (churn). Its pending timers and in-flight messages
     /// to it are silently dropped, as for a crashed peer.
     pub fn remove_node(&mut self, addr: Addr) -> Option<B> {
-        self.shard_mut(addr).nodes.remove(addr).map(|h| h.node)
+        let hosted = self.shard_mut(addr).nodes.remove(addr)?;
+        self.counter_floor.insert(addr, hosted.counter);
+        Some(hosted.node)
     }
 
-    /// Driver-side: schedule a control event at absolute time `at`.
-    ///
-    /// Control events live on shard 0's queue (the driver lane), but —
-    /// like every event — pop in global `(time, seq)` order.
+    /// Driver-side: schedule a control event at absolute time `at`,
+    /// clamped to the present — a control scheduled into the past pops
+    /// *now* rather than marching the clock backwards.
     pub fn schedule_control(&mut self, at: SimTime, control: B::Control) {
-        let seq = self.next_seq();
-        self.shards[0]
-            .queue
-            .push_with_seq(at, seq, Event::Control(control));
+        let at = at.max(self.now);
+        let key = u128::from(self.driver_seq);
+        self.driver_seq += 1;
+        self.controls.push_with_seq(at, key, control);
     }
 
     /// Driver-side: inject a message from outside the overlay (used by
-    /// test harnesses; latency still applies).
+    /// test harnesses; latency still applies, drawn from a
+    /// driver-indexed stateless stream).
     pub fn inject_message(&mut self, from: Addr, to: Addr, msg: B::Msg) {
-        self.route(from, to, msg, Duration::ZERO);
+        let bytes = msg.wire_bytes();
+        let from_shard = self.map.shard_of(from);
+        self.shards[from_shard].ledger.record(from, to, bytes);
+        let mut rng = derive_rng(
+            split_seed(self.master_seed, from.0),
+            b"inject",
+            self.driver_seq,
+        );
+        let lat = self.latency.sample(from, to, &mut rng);
+        let at = self.now + lat;
+        let key = u128::from(self.driver_seq);
+        self.driver_seq += 1;
+        let dest = self.map.shard_of(to);
+        self.shards[dest]
+            .queue
+            .push_with_seq(at, key, Event::Deliver { from, to, msg });
     }
 
     /// Driver-side: invoke a closure against one node with a full
@@ -361,7 +638,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         let Some((key, mut hosted)) = self.shard_mut(addr).nodes.take(addr) else {
             return false;
         };
-        self.dispatch(addr, &mut hosted, f);
+        self.driver_dispatch(addr, &mut hosted, f);
         self.shard_mut(addr).nodes.restore(addr, key, hosted);
         true
     }
@@ -374,118 +651,44 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         &mut self.shards[self.map.shard_of(addr)]
     }
 
-    fn next_seq(&mut self) -> u64 {
-        let seq = self.seq;
-        self.seq += 1;
-        seq
-    }
-
-    /// Run `f` against `hosted` with a pooled context, then flush what
-    /// it produced (messages, timers, controls) into the queues.
-    fn dispatch<F>(&mut self, addr: Addr, hosted: &mut Hosted<B>, f: F)
+    /// Dispatch on behalf of the driver (insert/with_node): run the
+    /// handler on the node's shard, then immediately publish what it
+    /// produced — envelopes to the bus, emitted controls to the driver
+    /// queue (they pop in key order like everything else).
+    fn driver_dispatch<F>(&mut self, addr: Addr, hosted: &mut Hosted<B>, f: F)
     where
         F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
     {
-        let controls = self.dispatch_buffered(addr, hosted, f);
-        if let Some(mut controls) = controls {
-            let now = self.now;
-            for c in controls.drain(..) {
-                let seq = self.next_seq();
-                self.shards[0]
-                    .queue
-                    .push_with_seq(now, seq, Event::Control(c));
-            }
-            self.pool.controls = controls;
-        }
-    }
-
-    /// Core of event dispatch: run `f`, flush messages and timers, and
-    /// hand back the control buffer — `None` when no controls were
-    /// emitted (the pooled buffer was returned untouched), `Some(vec)`
-    /// when the caller now owns the drained-or-forwarded buffer.
-    fn dispatch_buffered<F>(
-        &mut self,
-        addr: Addr,
-        hosted: &mut Hosted<B>,
-        f: F,
-    ) -> Option<Vec<B::Control>>
-    where
-        F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
-    {
-        let mut outbox = std::mem::take(&mut self.pool.outbox);
-        let mut timers = std::mem::take(&mut self.pool.timers);
-        let mut controls = std::mem::take(&mut self.pool.controls);
-        debug_assert!(outbox.is_empty() && timers.is_empty() && controls.is_empty());
-        let mut ctx = Ctx {
-            now: self.now,
-            self_addr: addr,
-            rng: &mut hosted.rng,
-            outbox: &mut outbox,
-            timers: &mut timers,
-            controls: &mut controls,
-        };
-        f(&mut hosted.node, &mut ctx);
-        for (to, msg, extra) in outbox.drain(..) {
-            self.route(addr, to, msg, extra);
-        }
         let now = self.now;
+        let ctx = ShardCtx {
+            map: self.map,
+            latency: &self.latency,
+            master_seed: self.master_seed,
+            window_end: self.window.end(),
+            exec_end: now,
+        };
         let sh = self.map.shard_of(addr);
-        for (delay, timer) in timers.drain(..) {
-            let seq = self.next_seq();
-            self.shards[sh].queue.push_with_seq(
-                now + delay,
-                seq,
-                Event::Timer { node: addr, timer },
-            );
+        self.shards[sh].dispatch(&ctx, now, addr, hosted, f);
+        let shard = &mut self.shards[sh];
+        for (t, key, c) in shard.emitted.drain(..) {
+            self.controls.push_with_seq(t, key, c);
         }
-        self.pool.outbox = outbox;
-        self.pool.timers = timers;
-        if controls.is_empty() {
-            self.pool.controls = controls;
-            None
-        } else {
-            Some(controls)
-        }
+        Self::park_outgoing(&mut self.bus, shard);
     }
 
-    fn route(&mut self, from: Addr, to: Addr, msg: B::Msg, extra: Duration) {
-        let bytes = msg.wire_bytes();
-        self.ledger.record(from, to, bytes);
-        let lat = self.latency.sample(from, to, &mut self.transport_rng);
-        let at = self.now + extra + lat;
-        let seq = self.next_seq();
-        let dest = self.map.shard_of(to);
-        if dest == self.map.shard_of(from) {
-            self.shards[dest]
-                .queue
-                .push_with_seq(at, seq, Event::Deliver { from, to, msg });
-        } else {
-            // Conservative-sync soundness: the window's end never
-            // exceeds now + lookahead, and lat >= lookahead, so a
-            // parked message is always due at or beyond the window. A
-            // violation means the latency model's min_latency() lied
-            // about its floor — fail loudly rather than let release
-            // builds silently produce shard-count-dependent results.
-            assert!(
-                at >= self.window.end(),
-                "cross-shard message due inside the lookahead window: \
-                 the latency model's min_latency() exceeds an actual sample"
-            );
-            self.bus.park(
-                dest,
-                Envelope {
-                    at,
-                    seq,
-                    from,
-                    to,
-                    msg,
-                },
-            );
+    /// Publish a shard's outgoing envelope lanes onto the bus — the one
+    /// place every drive path (driver dispatch, sequential stepping,
+    /// window barriers) parks a batch's cross-shard sends.
+    fn park_outgoing(bus: &mut CrossShardBus<B::Msg>, shard: &mut Shard<B>) {
+        for (dest, lane) in shard.outgoing.iter_mut().enumerate() {
+            for e in lane.drain(..) {
+                bus.park(dest, e);
+            }
         }
     }
 
     /// Barrier: move every parked cross-shard message into its
-    /// destination shard's queue, keyed by its send-time `(time, seq)`.
+    /// destination shard's queue, keyed by its send-time `(time, key)`.
     fn flush_bus(&mut self) {
         let shards = &mut self.shards;
         self.bus.flush(|dest, e| {
@@ -501,18 +704,31 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         });
     }
 
-    /// Pop the globally earliest event across all shards, flushing the
-    /// bus at lookahead barriers so parked messages become visible
-    /// before they are due.
-    fn pop_due(&mut self) -> Option<(SimTime, EventOf<B>)> {
+    /// The head of the shard queues: the smallest `(time, key)` and its
+    /// shard index.
+    fn shard_head(&self) -> Option<((SimTime, u128), usize)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.queue.peek_key().map(|k| (k, i)))
+            .min()
+    }
+
+    /// Locate the globally earliest due event (flushing the bus at
+    /// lookahead barriers so parked messages become visible before they
+    /// are due), without popping it. `None` when nothing remains at or
+    /// before `deadline`.
+    fn pop_source(&mut self, deadline: SimTime) -> Option<StepSource> {
         loop {
-            let head = self
-                .shards
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.queue.peek_key().map(|k| (k, i)))
-                .min();
-            let Some(((t, _), idx)) = head else {
+            let shard_head = self.shard_head();
+            let ctrl_head = self.controls.peek_key();
+            let head = match (shard_head, ctrl_head) {
+                (Some((sk, _)), Some(ck)) if ck < sk => Some((ck, StepSource::Control)),
+                (Some((sk, i)), _) => Some((sk, StepSource::Shard(i))),
+                (None, Some(ck)) => Some((ck, StepSource::Control)),
+                (None, None) => None,
+            };
+            let Some(((t, _), src)) = head else {
                 if self.bus.is_empty() {
                     return None;
                 }
@@ -525,61 +741,64 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
                 self.flush_bus();
                 continue;
             }
+            if t > deadline {
+                return None;
+            }
             if self.bus.is_empty() {
                 self.window.open(t);
             }
-            let popped = self.shards[idx].queue.pop();
-            debug_assert!(popped.is_some(), "peeked head exists");
-            let (at, ev) = popped?;
-            self.now = at;
-            return Some((at, ev));
+            return Some(src);
         }
     }
 
-    /// The timestamp of the next pending event (queued or in flight on
-    /// the bus), if any.
+    /// The timestamp of the next pending event (queued, in flight on
+    /// the bus, or a scheduled control), if any.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
         let queued = self.shards.iter().filter_map(|s| s.queue.peek_time()).min();
-        match (queued, self.bus.earliest()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        [queued, self.controls.peek_time(), self.bus.earliest()]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Process the next event. Returns what happened so the driver can
     /// react to control events.
     pub fn step(&mut self) -> StepOutcome<B::Control> {
+        self.step_bounded(SimTime(u64::MAX))
+    }
+
+    /// Process events one at a time until something driver-visible
+    /// happens, but never past `deadline`: every internal skip (a
+    /// delivery to a dead node, a dead timer, a quiet protocol event
+    /// that emits no controls) re-checks the bound, so a single call
+    /// can no longer run protocol work arbitrarily far beyond it.
+    fn step_bounded(&mut self, deadline: SimTime) -> StepOutcome<B::Control> {
         loop {
-            let Some((_, ev)) = self.pop_due() else {
+            let Some(src) = self.pop_source(deadline) else {
                 return StepOutcome::Idle;
             };
-            match ev {
-                Event::Control(c) => return StepOutcome::Control(c),
-                Event::Deliver { from, to, msg } => {
-                    let sh = self.map.shard_of(to);
-                    let Some((key, mut hosted)) = self.shards[sh].nodes.take(to) else {
-                        self.dropped_to_dead += 1;
-                        continue;
-                    };
-                    let controls = self.dispatch_buffered(to, &mut hosted, |node, ctx| {
-                        node.on_message(ctx, from, msg);
-                    });
-                    self.shards[sh].nodes.restore(to, key, hosted);
-                    if let Some(controls) = controls {
-                        return StepOutcome::Protocol(controls);
-                    }
+            match src {
+                StepSource::Control => {
+                    let (t, c) = self.controls.pop().expect("peeked control exists");
+                    self.now = t;
+                    return StepOutcome::Control(c);
                 }
-                Event::Timer { node: addr, timer } => {
-                    let sh = self.map.shard_of(addr);
-                    let Some((key, mut hosted)) = self.shards[sh].nodes.take(addr) else {
-                        continue; // timer of a dead node
+                StepSource::Shard(idx) => {
+                    let ctx = ShardCtx {
+                        map: self.map,
+                        latency: &self.latency,
+                        master_seed: self.master_seed,
+                        window_end: self.window.end(),
+                        exec_end: self.now,
                     };
-                    let controls = self.dispatch_buffered(addr, &mut hosted, |node, ctx| {
-                        node.on_timer(ctx, timer);
-                    });
-                    self.shards[sh].nodes.restore(addr, key, hosted);
-                    if let Some(controls) = controls {
+                    self.shards[idx].run_one(&ctx);
+                    self.now = self.now.max(self.shards[idx].last_exec);
+                    let shard = &mut self.shards[idx];
+                    let controls: Vec<B::Control> =
+                        shard.emitted.drain(..).map(|(_, _, c)| c).collect();
+                    Self::park_outgoing(&mut self.bus, shard);
+                    if !controls.is_empty() {
                         return StepOutcome::Protocol(controls);
                     }
                 }
@@ -588,18 +807,129 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     }
 
     /// Run the protocol until `deadline` or queue exhaustion, returning
-    /// emitted control events tagged with their emission time.
+    /// emitted control events tagged with their emission time. Events
+    /// strictly after `deadline` are left pending — the clock never
+    /// overshoots.
     pub fn run_until(&mut self, deadline: SimTime) -> Vec<(SimTime, B::Control)> {
         let mut out = Vec::new();
-        while self.peek_time().is_some_and(|t| t <= deadline) {
-            match self.step() {
+        loop {
+            match self.step_bounded(deadline) {
                 StepOutcome::Idle => break,
-                StepOutcome::Control(c) => out.push((self.now(), c)),
-                StepOutcome::Protocol(cs) => out.extend(cs.into_iter().map(|c| (self.now(), c))),
+                StepOutcome::Control(c) => out.push((self.now, c)),
+                StepOutcome::Protocol(cs) => out.extend(cs.into_iter().map(|c| (self.now, c))),
             }
         }
         out
     }
+
+    /// Execute one conservative window and return the control events it
+    /// produced, tagged with their emission times and sorted in global
+    /// `(time, key)` order. Returns `None` when nothing remains at or
+    /// before `deadline`.
+    ///
+    /// One call does one of three things:
+    ///
+    /// 1. If the globally earliest pending event is a driver control,
+    ///    pop just it — the driver reacts (possibly mutating the world)
+    ///    before any later event runs, exactly as in sequential
+    ///    stepping.
+    /// 2. Otherwise open the lookahead window from the earliest pending
+    ///    time, cap it at the next scheduled control and the deadline,
+    ///    and run **every shard's in-window batch** — on scoped threads
+    ///    when [`World::set_parallel`] is on, inline otherwise. Shards
+    ///    share nothing during the batch; the barrier then parks their
+    ///    outgoing envelopes, merges their emitted controls by key, and
+    ///    advances the clock.
+    /// 3. With zero lookahead (or a control due at the window start)
+    ///    the window degenerates to one sequential event — always
+    ///    correct, never fast.
+    ///
+    /// Sequential and parallel windowed runs are byte-identical by
+    /// construction: threads only change *when* a shard's batch runs on
+    /// the wall clock, never what it computes or how the barrier orders
+    /// the results.
+    pub fn run_window(&mut self, deadline: SimTime) -> Option<Vec<(SimTime, B::Control)>>
+    where
+        B: Send,
+        B::Msg: Send,
+        B::Timer: Send,
+        B::Control: Send,
+        L: Sync,
+    {
+        // Barrier: every in-flight cross-shard message becomes visible
+        // before the window's extent is decided.
+        self.flush_bus();
+        let shard_head = self.shard_head();
+        let ctrl_head = self.controls.peek_key();
+        let ctrl_first = match (ctrl_head, shard_head) {
+            (Some(ck), Some((sk, _))) => ck < sk,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if ctrl_first {
+            let (t, _) = ctrl_head.expect("control head exists");
+            if t > deadline {
+                return None;
+            }
+            let (t, c) = self.controls.pop().expect("peeked control exists");
+            self.now = t;
+            return Some(vec![(t, c)]);
+        }
+        let ((t0, _), head_idx) = shard_head?;
+        if t0 > deadline {
+            return None;
+        }
+        let window_end = self.window.open(t0);
+        let mut exec_end = window_end;
+        if let Some(ct) = self.controls.peek_time() {
+            exec_end = exec_end.min(ct);
+        }
+        exec_end = exec_end.min(SimTime(deadline.0.saturating_add(1)));
+        let ctx = ShardCtx {
+            map: self.map,
+            latency: &self.latency,
+            master_seed: self.master_seed,
+            window_end,
+            exec_end,
+        };
+        if exec_end <= t0 {
+            // Zero lookahead (or a control due right at t0): degenerate
+            // to one sequential event — the flush-per-pop classic
+            // engine. Slower, never wrong.
+            self.shards[head_idx].run_one(&ctx);
+        } else if self.parallel && self.shards.len() > 1 {
+            std::thread::scope(|scope| {
+                for shard in &mut self.shards {
+                    scope.spawn(move || shard.run_batch(&ctx));
+                }
+            });
+        } else {
+            for shard in &mut self.shards {
+                shard.run_batch(&ctx);
+            }
+        }
+        // Barrier merge: park envelopes, order controls, advance time.
+        // Everything here is key-driven or commutative, so the merge is
+        // independent of which thread finished first.
+        let mut emitted: Vec<(SimTime, u128, B::Control)> = Vec::new();
+        let mut now = self.now;
+        for shard in &mut self.shards {
+            emitted.append(&mut shard.emitted);
+            now = now.max(shard.last_exec);
+            Self::park_outgoing(&mut self.bus, shard);
+        }
+        self.now = now;
+        emitted.sort_unstable_by_key(|&(t, k, _)| (t, k));
+        Some(emitted.into_iter().map(|(t, _, c)| (t, c)).collect())
+    }
+}
+
+/// Where [`World::pop_source`] found the globally earliest event.
+enum StepSource {
+    /// The driver control queue holds the head.
+    Control,
+    /// The indexed shard's queue holds the head.
+    Shard(usize),
 }
 
 #[cfg(test)]
@@ -809,14 +1139,16 @@ mod tests {
         }
     }
 
-    /// A gossip workload whose control trace captures the full event
-    /// order: every pong emits the receiver's running count.
-    fn gossip_trace<L: LatencyModel>(shards: usize, latency: L) -> Vec<(SimTime, u32)> {
-        // ids spread across the whole u64 space so every shard count
-        // actually splits them
-        let ids: Vec<Addr> = (0..16)
+    /// ids spread across the whole u64 space so every shard count
+    /// actually splits them
+    fn gossip_ids() -> Vec<Addr> {
+        (0..16)
             .map(|i| NodeId((i as u64) << 60 | (i as u64 * 0x9E37_79B9)))
-            .collect();
+            .collect()
+    }
+
+    fn gossip_world<L: LatencyModel>(shards: usize, latency: L) -> World<PingPong, L> {
+        let ids = gossip_ids();
         let mut w: World<PingPong, _> =
             World::with_shards(latency, 11, SchedulerKind::default(), shards);
         assert_eq!(w.shard_count(), shards.max(1));
@@ -829,6 +1161,14 @@ mod tests {
                 },
             );
         }
+        w
+    }
+
+    /// A gossip workload whose control trace captures the full event
+    /// order: every pong emits the receiver's running count.
+    fn gossip_trace<L: LatencyModel>(shards: usize, latency: L) -> Vec<(SimTime, u32)> {
+        let ids = gossip_ids();
+        let mut w = gossip_world(shards, latency);
         // keep the network busy: every pong re-pings a different peer
         let mut out = Vec::new();
         let deadline = SimTime::from_millis(400);
@@ -850,6 +1190,29 @@ mod tests {
         out
     }
 
+    /// The same workload driven through the windowed executor.
+    fn gossip_trace_windowed<L: LatencyModel + Sync>(
+        shards: usize,
+        parallel: bool,
+        latency: L,
+    ) -> Vec<(SimTime, u32)> {
+        let ids = gossip_ids();
+        let mut w = gossip_world(shards, latency);
+        w.set_parallel(parallel);
+        let mut out = Vec::new();
+        while let Some(controls) = w.run_window(SimTime::from_millis(400)) {
+            for (t, c) in controls {
+                out.push((t, c));
+                let k = out.len() % ids.len();
+                w.with_node(ids[k], |_n, ctx| {
+                    ctx.send(ids[(k + 7) % 16], Pm::Ping);
+                });
+            }
+        }
+        assert_eq!(w.node_count(), 16);
+        out
+    }
+
     #[test]
     fn shard_count_never_changes_results() {
         let one = gossip_trace(1, ConstantLatency(Duration::from_millis(7)));
@@ -864,6 +1227,25 @@ mod tests {
     }
 
     #[test]
+    fn windowed_execution_identical_across_shards_and_modes() {
+        let base = gossip_trace_windowed(1, false, ConstantLatency(Duration::from_millis(7)));
+        assert!(base.len() > 40, "workload must generate traffic");
+        for shards in [1usize, 2, 4, 8] {
+            for parallel in [false, true] {
+                assert_eq!(
+                    gossip_trace_windowed(
+                        shards,
+                        parallel,
+                        ConstantLatency(Duration::from_millis(7))
+                    ),
+                    base,
+                    "{shards}-shard parallel={parallel} windowed run diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn zero_lookahead_still_deterministic() {
         // a model with no guaranteed floor gives a zero lookahead: the
         // window covers nothing and the engine degenerates to flushing
@@ -872,6 +1254,17 @@ mod tests {
         assert!(!one.is_empty());
         for shards in [2usize, 4] {
             assert_eq!(gossip_trace(shards, NoFloor(Duration::from_millis(7))), one);
+        }
+        // the windowed executor degenerates identically (its windows
+        // collapse to single events)
+        let windowed = gossip_trace_windowed(1, false, NoFloor(Duration::from_millis(7)));
+        for shards in [2usize, 4] {
+            for parallel in [false, true] {
+                assert_eq!(
+                    gossip_trace_windowed(shards, parallel, NoFloor(Duration::from_millis(7))),
+                    windowed
+                );
+            }
         }
     }
 
@@ -937,5 +1330,137 @@ mod tests {
         assert!(ctrl.is_empty());
         assert_eq!(w.dropped_to_dead(), 1);
         assert_eq!(w.node_count(), 1);
+    }
+
+    /// A node that re-arms a quiet timer forever and never emits a
+    /// control: the workload on which an unbounded internal step loop
+    /// would run away past any deadline.
+    struct QuietTicker;
+
+    impl NodeBehavior for QuietTicker {
+        type Msg = Pm;
+        type Timer = ();
+        type Control = u32;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Pm, (), u32>) {
+            ctx.set_timer(Duration::from_millis(10), ());
+        }
+
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Pm, (), u32>, _from: Addr, _msg: Pm) {}
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Pm, (), u32>, (): ()) {
+            ctx.set_timer(Duration::from_millis(10), ());
+        }
+    }
+
+    #[test]
+    fn run_until_stops_exactly_at_the_deadline() {
+        let mut w: World<QuietTicker, _> = World::new(ConstantLatency(Duration::from_millis(5)), 1);
+        w.insert_node(NodeId(1), QuietTicker);
+        let ctrl = w.run_until(SimTime::from_millis(95));
+        assert!(ctrl.is_empty());
+        // events at 10..=90 ms ran; the 100 ms tick must still be
+        // pending and the clock must not have overshot
+        assert_eq!(w.now(), SimTime::from_millis(90), "clock overshot");
+        assert_eq!(w.peek_time(), Some(SimTime::from_millis(100)));
+        // a second call makes no progress (nothing due before 95 ms)
+        assert!(w.run_until(SimTime::from_millis(95)).is_empty());
+        assert_eq!(w.now(), SimTime::from_millis(90));
+        // the windowed executor honors the same bound
+        assert!(w.run_window(SimTime::from_millis(95)).is_none());
+        assert_eq!(w.now(), SimTime::from_millis(90));
+    }
+
+    #[test]
+    fn past_due_control_clamps_to_now() {
+        let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(10)), 1);
+        w.insert_node(
+            NodeId(1),
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
+        w.schedule_control(SimTime::from_secs(5), 1);
+        let ctrl = w.run_until(SimTime::from_secs(10));
+        assert_eq!(ctrl, vec![(SimTime::from_secs(5), 1)]);
+        assert_eq!(w.now(), SimTime::from_secs(5));
+        // a control scheduled into the past pops immediately, at `now`
+        w.schedule_control(SimTime::from_secs(1), 2);
+        let ctrl = w.run_until(SimTime::from_secs(10));
+        assert_eq!(ctrl, vec![(SimTime::from_secs(5), 2)], "clamped to now");
+        assert_eq!(w.now(), SimTime::from_secs(5), "time moved backwards");
+    }
+
+    /// A latency model that lies about its floor: `min_latency` claims
+    /// 10 ms but samples are 1 ms.
+    struct LyingFloor;
+
+    impl LatencyModel for LyingFloor {
+        fn sample<R: rand::Rng + ?Sized>(&self, _: Addr, _: Addr, _: &mut R) -> Duration {
+            Duration::from_millis(1)
+        }
+        fn base(&self, _: Addr, _: Addr) -> Duration {
+            Duration::from_millis(1)
+        }
+        fn min_latency(&self) -> Duration {
+            Duration::from_millis(10)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-shard message due inside the lookahead window")]
+    fn lying_min_latency_trips_the_soundness_assert() {
+        let mut w: World<PingPong, _> =
+            World::with_shards(LyingFloor, 1, SchedulerKind::default(), 2);
+        let (a, b) = (NodeId(1), NodeId(u64::MAX - 1));
+        assert_ne!(w.shard_map().shard_of(a), w.shard_map().shard_of(b));
+        w.insert_node(
+            b,
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
+        w.insert_node(
+            a,
+            PingPong {
+                pongs: 0,
+                peer: Some(b),
+            },
+        );
+        // b's reply is sampled at 1 ms inside a 10 ms-lookahead window:
+        // the cross-shard park must fail loudly, not corrupt the run
+        w.run_until(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn rejoining_node_resumes_its_event_counter() {
+        let mut w: World<PingPong, _> = World::new(ConstantLatency(Duration::from_millis(5)), 1);
+        w.insert_node(
+            NodeId(1),
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
+        w.with_node(NodeId(1), |_n, ctx| {
+            ctx.set_timer(Duration::from_secs(1), ())
+        });
+        let counter_after_timer = w.shard(NodeId(1)).nodes.get(NodeId(1)).unwrap().counter;
+        assert!(counter_after_timer > 0);
+        w.remove_node(NodeId(1));
+        w.insert_node(
+            NodeId(1),
+            PingPong {
+                pongs: 0,
+                peer: None,
+            },
+        );
+        let counter_after_rejoin = w.shard(NodeId(1)).nodes.get(NodeId(1)).unwrap().counter;
+        assert!(
+            counter_after_rejoin >= counter_after_timer,
+            "rejoin must never reuse keys of its previous life"
+        );
     }
 }

@@ -18,8 +18,10 @@
 //! speed, never results.
 //!
 //! The engine also composes to *several* queues: a sharded world keeps
-//! one [`EventQueue`] per shard, assigns `(time, seq)` keys from one
-//! global counter ([`EventQueue::push_with_seq`]), merges heads with
+//! one [`EventQueue`] per shard, assigns totally ordered `(time, seq)`
+//! keys without cross-shard coordination by packing a
+//! `(lane, origin, counter)` tie-break into the 128-bit `seq`
+//! ([`EventQueue::push_with_seq`]), merges heads with
 //! [`EventQueue::peek_key`], and bounds how far execution may run
 //! between cross-shard synchronization barriers with a conservative
 //! [`LookaheadWindow`] ([`window`]).

@@ -17,7 +17,7 @@ use crate::time::SimTime;
 /// regardless of backend internals.
 pub struct EventQueue<E> {
     backend: Backend<E>,
-    seq: u64,
+    seq: u128,
     now: SimTime,
 }
 
@@ -136,20 +136,21 @@ impl<E> EventQueue<E> {
         Some((t, e))
     }
 
-    /// Schedule `event` at `at` under a caller-supplied sequence number.
+    /// Schedule `event` at `at` under a caller-supplied tie-break key.
     ///
     /// This is the composition hook for multi-queue engines: a sharded
-    /// world assigns sequence numbers from one *global* counter so that
-    /// `(time, seq)` keys stay totally ordered across every shard's
-    /// queue, then pushes each event here. The queue's own counter is
-    /// bumped past `seq` so later [`EventQueue::push`] calls never
-    /// collide. Unlike `push`, `seq` need not arrive in increasing
-    /// order (a cross-shard bus flush delivers older-seq events late);
-    /// it must only be unique per queue.
+    /// world packs `(lane, origin, counter)` keys into the 128 bits so
+    /// that `(time, seq)` keys stay totally ordered across every
+    /// shard's queue — without any cross-shard coordination at
+    /// assignment time — then pushes each event here. The queue's own
+    /// counter is bumped past `seq` so later [`EventQueue::push`] calls
+    /// never collide. Unlike `push`, `seq` need not arrive in
+    /// increasing order (a cross-shard bus flush delivers older-key
+    /// events late); it must only be unique per queue.
     ///
     /// # Panics
     /// Panics when `at` is in the past, exactly as [`EventQueue::push`].
-    pub fn push_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
+    pub fn push_with_seq(&mut self, at: SimTime, seq: u128, event: E) {
         assert!(
             at >= self.now,
             "cannot schedule into the past ({at:?} < {:?})",
@@ -169,7 +170,7 @@ impl<E> EventQueue<E> {
     /// popping — what a sharded engine compares across queues to find
     /// the globally earliest event.
     #[must_use]
-    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+    pub fn peek_key(&self) -> Option<(SimTime, u128)> {
         self.backend.as_scheduler().peek_key()
     }
 

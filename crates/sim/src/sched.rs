@@ -15,11 +15,15 @@
 //! # Determinism contract
 //!
 //! Every backend MUST pop events in ascending `(time, seq)` order, where
-//! `seq` is the monotonically increasing insertion sequence number the
-//! queue assigns. Ties at the same timestamp therefore pop in insertion
-//! (FIFO) order. This contract is what makes simulations byte-for-byte
-//! reproducible regardless of the backend chosen; the cross-backend
-//! regression tests in `tests/scheduler_equivalence.rs` enforce it.
+//! `seq` is a caller-supplied tie-break key — for a plain
+//! [`EventQueue`](crate::EventQueue) the monotonically increasing
+//! insertion sequence number, for a sharded world a packed
+//! `(lane, origin, counter)` key that is unique without being dense.
+//! Ties at the same timestamp therefore pop in key order (insertion
+//! FIFO for the plain queue). This contract is what makes simulations
+//! byte-for-byte reproducible regardless of the backend chosen; the
+//! cross-backend regression tests in `tests/scheduler_equivalence.rs`
+//! enforce it.
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -32,15 +36,16 @@ use crate::time::SimTime;
 /// Implementations must honour the determinism contract documented at the
 /// [module level](self): events pop in ascending `(time, seq)` order.
 pub trait Scheduler<E> {
-    /// Store `event` at `time` with insertion sequence number `seq`.
+    /// Store `event` at `time` with tie-break key `seq`.
     ///
     /// The caller guarantees `seq` is globally unique and `time` is
-    /// never earlier than the last popped time. Sequence numbers
-    /// normally arrive strictly increasing; a sharded engine flushing a
-    /// cross-shard message bus may deliver an *older* (smaller-seq)
-    /// event after younger local ones, and backends must order those
-    /// correctly too.
-    fn schedule(&mut self, time: SimTime, seq: u64, event: E);
+    /// never earlier than the last popped time. Keys normally arrive
+    /// strictly increasing, but neither density nor monotonicity is
+    /// required: a sharded engine packs `(lane, origin, counter)` keys
+    /// into the 128 bits and a cross-shard bus flush may deliver an
+    /// *older* (smaller-key) event after younger local ones; backends
+    /// must order all of those correctly too.
+    fn schedule(&mut self, time: SimTime, seq: u128, event: E);
 
     /// Remove and return the earliest `(time, event)` pair, breaking
     /// timestamp ties by insertion order.
@@ -52,7 +57,7 @@ pub trait Scheduler<E> {
     /// The full `(time, seq)` ordering key of the next event without
     /// removing it — the hook a multi-queue (sharded) engine uses to
     /// pick the globally earliest event across several backends.
-    fn peek_key(&self) -> Option<(SimTime, u64)>;
+    fn peek_key(&self) -> Option<(SimTime, u128)>;
 
     /// Number of stored events.
     fn len(&self) -> usize;
@@ -102,12 +107,12 @@ impl SchedulerKind {
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
-    seq: u64,
+    seq: u128,
     event: E,
 }
 
 impl<E> Entry<E> {
-    fn key(&self) -> (SimTime, u64) {
+    fn key(&self) -> (SimTime, u128) {
         (self.time, self.seq)
     }
 }
@@ -155,7 +160,7 @@ impl<E> BinaryHeapScheduler<E> {
 }
 
 impl<E> Scheduler<E> for BinaryHeapScheduler<E> {
-    fn schedule(&mut self, time: SimTime, seq: u64, event: E) {
+    fn schedule(&mut self, time: SimTime, seq: u128, event: E) {
         self.heap.push(Entry { time, seq, event });
     }
 
@@ -167,7 +172,7 @@ impl<E> Scheduler<E> for BinaryHeapScheduler<E> {
         self.heap.peek().map(|e| e.time)
     }
 
-    fn peek_key(&self) -> Option<(SimTime, u64)> {
+    fn peek_key(&self) -> Option<(SimTime, u128)> {
         self.heap.peek().map(Entry::key)
     }
 
@@ -405,7 +410,7 @@ impl<E> TimingWheel<E> {
 }
 
 impl<E> Scheduler<E> for TimingWheel<E> {
-    fn schedule(&mut self, time: SimTime, seq: u64, event: E) {
+    fn schedule(&mut self, time: SimTime, seq: u128, event: E) {
         self.place(Entry { time, seq, event });
         self.len += 1;
         self.ensure_ready();
@@ -422,7 +427,7 @@ impl<E> Scheduler<E> for TimingWheel<E> {
         self.ready.last().map(|e| e.time)
     }
 
-    fn peek_key(&self) -> Option<(SimTime, u64)> {
+    fn peek_key(&self) -> Option<(SimTime, u128)> {
         self.ready.last().map(Entry::key)
     }
 
@@ -490,7 +495,7 @@ mod tests {
         // spread events across every level's range
         let delays_s = [0u64, 1, 10, 60, 600, 3600, 86_400];
         for (i, &d) in delays_s.iter().enumerate() {
-            w.schedule(SimTime::from_secs(d), i as u64, d);
+            w.schedule(SimTime::from_secs(d), i as u128, d);
         }
         let mut prev = None;
         while let Some((t, d)) = w.pop_next() {
@@ -549,7 +554,7 @@ mod tests {
     fn clear_resets_backends() {
         for (kind, mut s) in backends() {
             for i in 0..100 {
-                s.schedule(SimTime::from_millis(i * 7), i, i);
+                s.schedule(SimTime::from_millis(i * 7), u128::from(i), i);
             }
             assert_eq!(s.len(), 100, "backend {kind:?}");
             s.clear();
@@ -584,11 +589,11 @@ mod tests {
         // pop, plus message deliveries with pseudo-random latencies
         let mut heap: BinaryHeapScheduler<u64> = BinaryHeapScheduler::new();
         let mut wheel: TimingWheel<u64> = TimingWheel::new();
-        let mut seq = 0u64;
+        let mut seq = 0u128;
         let push = |h: &mut BinaryHeapScheduler<u64>,
                     w: &mut TimingWheel<u64>,
                     t: SimTime,
-                    s: &mut u64,
+                    s: &mut u128,
                     e: u64| {
             h.schedule(t, *s, e);
             w.schedule(t, *s, e);

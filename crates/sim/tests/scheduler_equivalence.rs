@@ -52,6 +52,69 @@ fn backends_pop_10k_random_events_identically() {
     );
 }
 
+/// Past-due injection: a sharded engine's bus flush may hand a queue an
+/// event whose timestamp equals the last popped time (and whose key is
+/// older than keys already pending there). Both backends must accept it
+/// and keep serving exact `(time, key)` order — the timing wheel's
+/// behind-the-cursor ready-run path must match the heap bit for bit.
+#[test]
+fn past_due_push_with_seq_matches_across_backends() {
+    let mut traces: Vec<Vec<(SimTime, &str)>> = Vec::new();
+    for kind in KINDS {
+        let mut q: EventQueue<&str> = EventQueue::with_scheduler(kind);
+        q.push_with_seq(SimTime::from_millis(5), 10, "first");
+        q.push_with_seq(SimTime::from_millis(9), 40, "later");
+        let mut trace = vec![q.pop().expect("first event")];
+        // the clock now sits at 5 ms; flush-style injections arrive at
+        // exactly that timestamp, with keys both below and above the
+        // pending event's
+        q.push_with_seq(SimTime::from_millis(5), 7, "at-now-older-key");
+        q.push_with_seq(SimTime::from_millis(5), 90, "at-now-newer-key");
+        q.push_with_seq(SimTime::from_millis(9), 12, "later-but-older-key");
+        assert_eq!(q.peek_key(), Some((SimTime::from_millis(5), 7)), "{kind:?}");
+        while let Some(ev) = q.pop() {
+            trace.push(ev);
+        }
+        assert_eq!(trace.len(), 5, "{kind:?} lost events");
+        traces.push(trace);
+    }
+    assert_eq!(
+        traces[0], traces[1],
+        "backends disagreed on past-due push_with_seq handling"
+    );
+    assert_eq!(
+        traces[0].iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+        vec![
+            "first",
+            "at-now-older-key",
+            "at-now-newer-key",
+            "later-but-older-key",
+            "later",
+        ]
+    );
+}
+
+/// A timestamp strictly before the last pop is a protocol-logic bug and
+/// must be rejected loudly — identically — by every backend.
+#[test]
+#[should_panic(expected = "cannot schedule into the past")]
+fn push_with_seq_before_last_pop_panics_on_heap() {
+    let mut q: EventQueue<()> = EventQueue::with_scheduler(SchedulerKind::BinaryHeap);
+    q.push_with_seq(SimTime::from_millis(5), 0, ());
+    q.pop();
+    q.push_with_seq(SimTime::from_millis(4), 1, ());
+}
+
+/// Same rejection on the timing wheel.
+#[test]
+#[should_panic(expected = "cannot schedule into the past")]
+fn push_with_seq_before_last_pop_panics_on_wheel() {
+    let mut q: EventQueue<()> = EventQueue::with_scheduler(SchedulerKind::TimingWheel);
+    q.push_with_seq(SimTime::from_millis(5), 0, ());
+    q.pop();
+    q.push_with_seq(SimTime::from_millis(4), 1, ());
+}
+
 /// The trace itself is well-ordered: ascending `(time, insertion order)`.
 #[test]
 fn popped_order_is_monotone_with_fifo_ties() {
