@@ -11,116 +11,14 @@
 //! engine_determinism tests and the in-bench sanity sweep); this bench
 //! measures what the partition and the threads cost or save in events
 //! per second.
+//!
+//! The workload itself lives in `octopus_bench::sharded`, shared with
+//! the `bench_snapshot` bin that emits the committed
+//! `BENCH_sharded_world.json` baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use octopus_bench::sharded::{approx_events, drive, Mode};
 use octopus_bench::Scale;
-use octopus_id::NodeId;
-use octopus_net::{
-    Addr, ConstantLatency, Ctx, NodeBehavior, SchedulerKind, StepOutcome, WireMsg, World,
-};
-use octopus_sim::{Duration, SimTime};
-
-/// Simulated horizon driven per iteration.
-const SIM_MILLIS: u64 = 1000;
-
-#[derive(Clone, Copy)]
-struct Gossip(#[allow(dead_code)] [u64; 9]); // the engine's real ~72-byte message shape
-
-impl WireMsg for Gossip {
-    fn wire_bytes(&self) -> u32 {
-        72
-    }
-}
-
-/// A node that gossips to a ring neighbor and to a node across the
-/// ID-space midpoint on alternating ~300 ms ticks.
-struct GossipNode {
-    near: Addr,
-    far: Addr,
-    tick: u64,
-}
-
-impl NodeBehavior for GossipNode {
-    type Msg = Gossip;
-    type Timer = ();
-    type Control = ();
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Gossip, (), ()>) {
-        // stagger the first tick so load spreads over the horizon
-        let phase = ctx.addr().0 % 300_000;
-        ctx.set_timer(Duration(phase), ());
-    }
-
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Gossip, (), ()>, _from: Addr, _msg: Gossip) {}
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Gossip, (), ()>, (): ()) {
-        let dest = if self.tick % 2 == 0 {
-            self.near
-        } else {
-            self.far
-        };
-        self.tick += 1;
-        ctx.send(dest, Gossip([self.tick; 9]));
-        // re-arm until the horizon, then let the queue drain to Idle
-        if ctx.now() + Duration::from_millis(300) <= SimTime::from_millis(SIM_MILLIS) {
-            ctx.set_timer(Duration::from_millis(300), ());
-        }
-    }
-}
-
-fn node_ids(n: usize) -> Vec<Addr> {
-    let stride = u64::MAX / n as u64;
-    (0..n as u64).map(|i| NodeId(i * stride + i)).collect()
-}
-
-/// How the world is driven to idle.
-#[derive(Clone, Copy, PartialEq)]
-enum Mode {
-    /// Classic sequential engine: pop one global event at a time.
-    Step,
-    /// Lookahead windows, each shard's batch run inline.
-    Win,
-    /// Lookahead windows, each shard's batch on its own thread.
-    Par,
-}
-
-impl Mode {
-    fn name(self) -> &'static str {
-        match self {
-            Mode::Step => "step",
-            Mode::Win => "win",
-            Mode::Par => "par",
-        }
-    }
-}
-
-/// Build the overlay and run `SIM_MILLIS` of gossip; returns total
-/// bytes shipped (for cross-shard/mode sanity checks).
-fn drive(n: usize, shards: usize, mode: Mode) -> u64 {
-    let ids = node_ids(n);
-    let mut w: World<GossipNode, _> = World::with_shards(
-        ConstantLatency(Duration::from_millis(40)),
-        7,
-        SchedulerKind::default(),
-        shards,
-    );
-    w.set_parallel(mode == Mode::Par);
-    for (i, &id) in ids.iter().enumerate() {
-        w.insert_node(
-            id,
-            GossipNode {
-                near: ids[(i + 1) % n],
-                far: ids[(i + n / 2) % n],
-                tick: id.0 % 2,
-            },
-        );
-    }
-    match mode {
-        Mode::Step => while !matches!(w.step(), StepOutcome::Idle) {},
-        Mode::Win | Mode::Par => while w.run_window(SimTime(u64::MAX)).is_some() {},
-    }
-    w.ledger().total_bytes()
-}
 
 fn bench_sharded_world(c: &mut Criterion) {
     // sanity at a cheap size: neither the bus nor the windows nor the
@@ -141,12 +39,9 @@ fn bench_sharded_world(c: &mut Criterion) {
         Scale::Quick => 10_000,
         Scale::Full => 100_000,
     };
-    // ≈ events per iteration: one timer + one delivery per node per
-    // ~300 ms of the simulated second
-    let events = (n as u64) * 2 * (SIM_MILLIS / 300);
     let mut g = c.benchmark_group("sharded_world");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(events));
+    g.throughput(Throughput::Elements(approx_events(n)));
     for shards in [1usize, 2, 4, 8] {
         for mode in [Mode::Step, Mode::Win, Mode::Par] {
             if mode == Mode::Par && shards == 1 {

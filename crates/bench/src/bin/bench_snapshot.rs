@@ -1,0 +1,99 @@
+//! Emit the `BENCH_sharded_world.json` performance baseline: the
+//! `sharded_world` gossip workload timed over the 1/2/4/8-shard ×
+//! {step, win, par} grid, as machine-diffable JSON on stdout (progress
+//! goes to stderr, so `cargo run --release -p octopus-bench --bin
+//! bench_snapshot > BENCH_sharded_world.json` works directly).
+//!
+//! The grid matches the criterion bench in `benches/sharded_world.rs`
+//! — same shared workload (`octopus_bench::sharded`), same labels — but
+//! prints medians in a stable schema instead of human-oriented rows, so
+//! future PRs diff a committed snapshot rather than anecdote (ROADMAP
+//! item 1). `OCTOPUS_SCALE=quick` (the default, N = 10 000) is the
+//! committed profile; `full` (N = 100 000) is available for deeper
+//! local runs.
+
+use std::time::Instant;
+
+use octopus_bench::sharded::{approx_events, drive, Mode, SIM_MILLIS};
+use octopus_bench::{RunArgs, Scale};
+
+/// Timed samples per grid cell (plus one untimed warm-up).
+const SAMPLES: usize = 3;
+
+/// Median wall-clock nanoseconds for one `drive(n, shards, mode)` call,
+/// and the byte total it produced (identical across the whole grid by
+/// the determinism contract — checked by `main`).
+// Sanctioned wall-clock site: timing real elapsed time is this bin's
+// entire purpose (OCT-LINT-002 exempts crates/bench).
+#[allow(clippy::disallowed_methods)]
+fn time_cell(n: usize, shards: usize, mode: Mode) -> (u64, u64) {
+    let bytes = drive(n, shards, mode); // warm-up, and the sanity value
+    let mut samples: Vec<u64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            let b = drive(n, shards, mode);
+            assert_eq!(b, bytes, "nondeterministic drive");
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[samples.len() / 2], bytes)
+}
+
+fn main() {
+    let args = RunArgs::from_env();
+    let (scale_name, n) = match args.scale {
+        Scale::Quick => ("quick", 10_000),
+        Scale::Full => ("full", 100_000),
+    };
+    let events = approx_events(n);
+
+    let grid: Vec<(usize, Mode)> = [1usize, 2, 4, 8]
+        .iter()
+        .flat_map(|&shards| {
+            [Mode::Step, Mode::Win, Mode::Par]
+                .into_iter()
+                .filter(move |&m| !(m == Mode::Par && shards == 1))
+                .map(move |m| (shards, m))
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut reference_bytes = None;
+    for &(shards, mode) in &grid {
+        eprintln!(
+            "bench_snapshot: gossip_n{n}_shards{shards}_{} ...",
+            mode.name()
+        );
+        let (median_ns, bytes) = time_cell(n, shards, mode);
+        let reference = *reference_bytes.get_or_insert(bytes);
+        assert_eq!(
+            bytes,
+            reference,
+            "{shards}-shard {} divergence",
+            mode.name()
+        );
+        let events_per_sec = (events as f64 / (median_ns as f64 / 1e9)).round() as u64;
+        rows.push(format!(
+            "    {{ \"shards\": {shards}, \"mode\": \"{}\", \"median_ns\": {median_ns}, \
+             \"events_per_sec\": {events_per_sec} }}",
+            mode.name()
+        ));
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"sharded_world\",");
+    println!("  \"scale\": \"{scale_name}\",");
+    println!("  \"n\": {n},");
+    println!("  \"sim_millis\": {SIM_MILLIS},");
+    println!("  \"approx_events_per_iter\": {events},");
+    println!("  \"samples_per_cell\": {SAMPLES},");
+    println!(
+        "  \"total_bytes\": {},",
+        reference_bytes.expect("grid is non-empty")
+    );
+    println!("  \"results\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

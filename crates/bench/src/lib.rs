@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sharded;
+
 use octopus_core::{AttackKind, OctopusConfig, SchedulerKind, SimConfig, TrialRunner};
 use octopus_sim::Duration;
 
@@ -146,6 +148,9 @@ impl Default for RunArgs {
         RunArgs {
             scale: Scale::Quick,
             seed: None,
+            // Sanctioned thread-count site (OCT-LINT-004): RunArgs only
+            // sizes the worker pool; results are merge-order-stable.
+            #[allow(clippy::disallowed_methods)]
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             trials: 1,
             scheduler: SchedulerKind::default(),

@@ -1,0 +1,133 @@
+//! The `sharded_world` gossip workload, shared between the criterion
+//! bench (`benches/sharded_world.rs`) and the `bench_snapshot` bin that
+//! emits the committed `BENCH_sharded_world.json` baseline.
+//!
+//! The workload builds an N-node overlay and drives one simulated
+//! second of staggered per-node gossip timers, with half the traffic
+//! deliberately crossing the ID-space midpoint so multi-shard runs
+//! exercise the cross-shard bus and its lookahead barriers. Results are
+//! byte-identical across shard counts and drive modes (pinned by the
+//! engine_determinism tests and [`drive`]'s ledger return value); what
+//! varies — and what the bench and snapshot measure — is events per
+//! second.
+
+use octopus_id::NodeId;
+use octopus_net::{
+    Addr, ConstantLatency, Ctx, NodeBehavior, SchedulerKind, StepOutcome, WireMsg, World,
+};
+use octopus_sim::{Duration, SimTime};
+
+/// Simulated horizon driven per iteration, in milliseconds.
+pub const SIM_MILLIS: u64 = 1000;
+
+/// The engine's real ~72-byte message shape.
+#[derive(Clone, Copy)]
+pub struct Gossip(#[allow(dead_code)] pub [u64; 9]);
+
+impl WireMsg for Gossip {
+    fn wire_bytes(&self) -> u32 {
+        72
+    }
+}
+
+/// A node that gossips to a ring neighbor and to a node across the
+/// ID-space midpoint on alternating ~300 ms ticks.
+pub struct GossipNode {
+    near: Addr,
+    far: Addr,
+    tick: u64,
+}
+
+impl NodeBehavior for GossipNode {
+    type Msg = Gossip;
+    type Timer = ();
+    type Control = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Gossip, (), ()>) {
+        // stagger the first tick so load spreads over the horizon
+        let phase = ctx.addr().0 % 300_000;
+        ctx.set_timer(Duration(phase), ());
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Gossip, (), ()>, _from: Addr, _msg: Gossip) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Gossip, (), ()>, (): ()) {
+        let dest = if self.tick % 2 == 0 {
+            self.near
+        } else {
+            self.far
+        };
+        self.tick += 1;
+        ctx.send(dest, Gossip([self.tick; 9]));
+        // re-arm until the horizon, then let the queue drain to Idle
+        if ctx.now() + Duration::from_millis(300) <= SimTime::from_millis(SIM_MILLIS) {
+            ctx.set_timer(Duration::from_millis(300), ());
+        }
+    }
+}
+
+/// `n` addresses spread evenly around the ID space.
+#[must_use]
+pub fn node_ids(n: usize) -> Vec<Addr> {
+    let stride = u64::MAX / n as u64;
+    (0..n as u64).map(|i| NodeId(i * stride + i)).collect()
+}
+
+/// How the world is driven to idle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Classic sequential engine: pop one global event at a time.
+    Step,
+    /// Lookahead windows, each shard's batch run inline.
+    Win,
+    /// Lookahead windows, each shard's batch on its own thread.
+    Par,
+}
+
+impl Mode {
+    /// Stable short name used in bench labels and the JSON snapshot.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Step => "step",
+            Mode::Win => "win",
+            Mode::Par => "par",
+        }
+    }
+}
+
+/// ≈ events per [`drive`] call: one timer + one delivery per node per
+/// ~300 ms of the simulated second.
+#[must_use]
+pub fn approx_events(n: usize) -> u64 {
+    (n as u64) * 2 * (SIM_MILLIS / 300)
+}
+
+/// Build the overlay and run [`SIM_MILLIS`] of gossip; returns total
+/// bytes shipped (for cross-shard/mode sanity checks).
+#[must_use]
+pub fn drive(n: usize, shards: usize, mode: Mode) -> u64 {
+    let ids = node_ids(n);
+    let mut w: World<GossipNode, _> = World::with_shards(
+        ConstantLatency(Duration::from_millis(40)),
+        7,
+        SchedulerKind::default(),
+        shards,
+    );
+    w.set_parallel(mode == Mode::Par);
+    for (i, &id) in ids.iter().enumerate() {
+        w.insert_node(
+            id,
+            GossipNode {
+                near: ids[(i + 1) % n],
+                far: ids[(i + n / 2) % n],
+                tick: id.0 % 2,
+            },
+        );
+    }
+    match mode {
+        Mode::Step => while !matches!(w.step(), StepOutcome::Idle) {},
+        Mode::Win | Mode::Par => while w.run_window(SimTime(u64::MAX)).is_some() {},
+    }
+    w.ledger().total_bytes()
+}

@@ -15,7 +15,7 @@
 //! driver takes the write lock between windows to enroll and remove
 //! colluders, which keeps every mutation at a deterministic point.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use octopus_chord::signed::successor_list_table;
@@ -62,7 +62,7 @@ pub struct AdversaryState {
     /// Colluders share key material over the out-of-band channel, which
     /// lets any of them fabricate statements signed by any other — at
     /// the price of sacrificing the signer once the CA verifies the lie.
-    keypairs: HashMap<NodeId, (KeyPair, Certificate)>,
+    keypairs: BTreeMap<NodeId, (KeyPair, Certificate)>,
 }
 
 /// Shared handle to the adversary: cheap to clone into every malicious
@@ -98,7 +98,7 @@ impl AdversaryState {
             attack_rate,
             consistent_collusion,
             colluders: BTreeSet::new(),
-            keypairs: HashMap::new(),
+            keypairs: BTreeMap::new(),
         }
     }
 

@@ -12,7 +12,7 @@
 //! node is never revoked, because every honest inconsistency traces to a
 //! death, a recent join, or a verifiable signed proof.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use octopus_chord::{stabilize, SignedSuccessorList};
 use octopus_crypto::{CertificateAuthority, PublicKey};
@@ -65,17 +65,17 @@ pub struct CaNode {
     pub addr: NodeId,
     authority: CertificateAuthority,
     cfg: OctopusConfig,
-    pubkeys: HashMap<NodeId, PublicKey>,
-    live: HashSet<NodeId>,
+    pubkeys: BTreeMap<NodeId, PublicKey>,
+    live: BTreeSet<NodeId>,
     /// Latest join time (seconds) per node.
-    join_times: HashMap<NodeId, u64>,
+    join_times: BTreeMap<NodeId, u64>,
     /// Latest death time (seconds) per node.
-    death_times: HashMap<NodeId, u64>,
-    cases: HashMap<u64, Case>,
+    death_times: BTreeMap<NodeId, u64>,
+    cases: BTreeMap<u64, Case>,
     /// Receipt-walk strikes per relay: a relay is only revoked as a
     /// dropper on its second strike, so a one-off state-loss race (a
     /// relay that churned and lost its receipts) is never fatal.
-    dropper_strikes: HashMap<NodeId, u32>,
+    dropper_strikes: BTreeMap<NodeId, u32>,
     next_case: u64,
     /// Total protocol messages received (Fig. 7(b)).
     pub messages_received: u64,
@@ -105,12 +105,12 @@ impl CaNode {
             addr,
             authority,
             cfg,
-            pubkeys: HashMap::new(),
-            live: HashSet::new(),
-            join_times: HashMap::new(),
-            death_times: HashMap::new(),
-            cases: HashMap::new(),
-            dropper_strikes: HashMap::new(),
+            pubkeys: BTreeMap::new(),
+            live: BTreeSet::new(),
+            join_times: BTreeMap::new(),
+            death_times: BTreeMap::new(),
+            cases: BTreeMap::new(),
+            dropper_strikes: BTreeMap::new(),
             next_case: 1,
             messages_received: 0,
             revoked: Vec::new(),

@@ -9,7 +9,7 @@
 //! surveillance query from a real lookup query, which is precisely the
 //! property §4.3 relies on.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use octopus_chord::signed::successor_list_table;
 use octopus_chord::{
@@ -142,27 +142,27 @@ pub struct OctopusNode {
 
     // ---- request tracking ----
     pub(crate) next_req: u64,
-    pub(crate) direct_pending: HashMap<u64, DirectPurpose>,
-    pub(crate) anon_pending: HashMap<u64, (AnonPurpose, Vec<NodeId>)>,
-    pub(crate) lookups: HashMap<u64, LookupState>,
-    pub(crate) walks: HashMap<u64, WalkState>,
-    pub(crate) delegated: HashMap<u64, DelegatedWalk>,
-    pub(crate) finger_lookups: HashMap<u64, FingerLookup>,
-    pub(crate) checks: HashMap<u64, FingerCheck>,
+    pub(crate) direct_pending: BTreeMap<u64, DirectPurpose>,
+    pub(crate) anon_pending: BTreeMap<u64, (AnonPurpose, Vec<NodeId>)>,
+    pub(crate) lookups: BTreeMap<u64, LookupState>,
+    pub(crate) walks: BTreeMap<u64, WalkState>,
+    pub(crate) delegated: BTreeMap<u64, DelegatedWalk>,
+    pub(crate) finger_lookups: BTreeMap<u64, FingerLookup>,
+    pub(crate) checks: BTreeMap<u64, FingerCheck>,
 
     // ---- relaying ----
-    pub(crate) relay_flows: HashMap<u64, RelayFlow>,
-    pub(crate) exit_flows: HashMap<u64, u64>, // exit req -> flow
-    pub(crate) receipts: HashMap<u64, ReceiptToken>, // flow -> receipt held
-    pub(crate) awaiting_receipt: HashMap<u64, NodeId>, // flow -> next hop
+    pub(crate) relay_flows: BTreeMap<u64, RelayFlow>,
+    pub(crate) exit_flows: BTreeMap<u64, u64>, // exit req -> flow
+    pub(crate) receipts: BTreeMap<u64, ReceiptToken>, // flow -> receipt held
+    pub(crate) awaiting_receipt: BTreeMap<u64, NodeId>, // flow -> next hop
 
     // ---- finger adoption provenance (per slot): the third-party
     // signed list that justified the finger, shown to the CA when the
     // finger is challenged ----
-    pub(crate) finger_prov: HashMap<u32, SignedSuccessorList>,
+    pub(crate) finger_prov: BTreeMap<u32, SignedSuccessorList>,
 
     // ---- misc ----
-    pub(crate) revoked: HashSet<NodeId>,
+    pub(crate) revoked: BTreeSet<NodeId>,
     pub(crate) adversary: Option<SharedAdversary>,
     /// Lookups completed by this node (diagnostics).
     pub lookups_done: u64,
@@ -195,19 +195,19 @@ impl OctopusNode {
             table_buffer: VecDeque::new(),
             relay_pool: VecDeque::new(),
             next_req: 1,
-            direct_pending: HashMap::new(),
-            anon_pending: HashMap::new(),
-            lookups: HashMap::new(),
-            walks: HashMap::new(),
-            delegated: HashMap::new(),
-            finger_lookups: HashMap::new(),
-            checks: HashMap::new(),
-            relay_flows: HashMap::new(),
-            exit_flows: HashMap::new(),
-            receipts: HashMap::new(),
-            awaiting_receipt: HashMap::new(),
-            finger_prov: HashMap::new(),
-            revoked: HashSet::new(),
+            direct_pending: BTreeMap::new(),
+            anon_pending: BTreeMap::new(),
+            lookups: BTreeMap::new(),
+            walks: BTreeMap::new(),
+            delegated: BTreeMap::new(),
+            finger_lookups: BTreeMap::new(),
+            checks: BTreeMap::new(),
+            relay_flows: BTreeMap::new(),
+            exit_flows: BTreeMap::new(),
+            receipts: BTreeMap::new(),
+            awaiting_receipt: BTreeMap::new(),
+            finger_prov: BTreeMap::new(),
+            revoked: BTreeSet::new(),
             adversary,
             lookups_done: 0,
         }

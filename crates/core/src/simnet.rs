@@ -10,7 +10,7 @@
 //! get biased before the attackers die (Fig. 3(b)), and the CA's message
 //! workload (Fig. 7(b)).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use octopus_chord::ChordConfig;
 use octopus_crypto::{CertificateAuthority, KeyPair};
@@ -399,10 +399,10 @@ pub struct SecuritySim {
     space: IdSpace,
     adversary: SharedAdversary,
     /// The full original malicious set (revocations don't erase guilt).
-    initial_malicious: HashSet<NodeId>,
-    unrevoked_malicious: HashSet<NodeId>,
-    revoked: HashSet<NodeId>,
-    keys: HashMap<NodeId, (KeyPair, octopus_crypto::Certificate)>,
+    initial_malicious: BTreeSet<NodeId>,
+    unrevoked_malicious: BTreeSet<NodeId>,
+    revoked: BTreeSet<NodeId>,
+    keys: BTreeMap<NodeId, (KeyPair, octopus_crypto::Certificate)>,
     churn: ChurnProcess,
     rng: rand::rngs::StdRng,
     debug: bool,
@@ -424,7 +424,7 @@ impl SecuritySim {
         let mut ids: Vec<NodeId> = space.ids().to_vec();
         ids.shuffle(&mut rng);
         let n_mal = (cfg.n as f64 * cfg.malicious_fraction).round() as usize;
-        let malicious: HashSet<NodeId> = ids.iter().take(n_mal).copied().collect();
+        let malicious: BTreeSet<NodeId> = ids.iter().take(n_mal).copied().collect();
 
         let adversary =
             AdversaryState::new(cfg.attack, cfg.attack_rate, cfg.consistent_collusion).shared();
@@ -434,7 +434,7 @@ impl SecuritySim {
 
         // --- certificates & CA ---
         let mut ca_node = CaNode::new(CA_ADDR, ca_authority, cfg.octopus);
-        let mut keys = HashMap::new();
+        let mut keys = BTreeMap::new();
         for &id in space.ids() {
             let kp = KeyPair::generate(&mut rng);
             let cert = ca_node.issue_cert(id, kp.public());
@@ -474,7 +474,7 @@ impl SecuritySim {
         let mut sim = SecuritySim {
             unrevoked_malicious: malicious.clone(),
             initial_malicious: malicious,
-            revoked: HashSet::new(),
+            revoked: BTreeSet::new(),
             cfg,
             world,
             space,
@@ -806,7 +806,7 @@ fn seed_provenance(
     node: &mut OctopusNode,
     space: &IdSpace,
     chord: ChordConfig,
-    keys: &HashMap<NodeId, (KeyPair, octopus_crypto::Certificate)>,
+    keys: &BTreeMap<NodeId, (KeyPair, octopus_crypto::Certificate)>,
     now: u64,
 ) {
     use octopus_chord::signed::successor_list_table;

@@ -59,6 +59,9 @@ impl TrialRunner {
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or_else(|| {
+                // Sanctioned thread-count site (OCT-LINT-004): sizing the
+                // trial fan-out; merge order stays submission-order.
+                #[allow(clippy::disallowed_methods)]
                 std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             });
         Self::new(threads)

@@ -1,0 +1,882 @@
+//! `octolint` — the determinism-contract static-analysis pass.
+//!
+//! The engine's headline property is byte-identical replay across
+//! shards × {seq, par} × scheduler backends. The equivalence-matrix
+//! tests enforce that *dynamically*, which means a nondeterminism
+//! source can hide until a workload happens to exercise it. This crate
+//! enforces the contract *statically*: it walks the workspace sources
+//! and flags the constructs that historically break replay, as named
+//! rules with stable diagnostic codes (the VEF stable-signature style):
+//!
+//! | code | rule | contract clause |
+//! |---|---|---|
+//! | `OCT-LINT-001` | `nondet-iteration` | no `HashMap`/`HashSet` in engine crates (`sim`, `net`, `core`, `id`, `metrics`) — iteration order is seeded per process; use `BTreeMap`/`BTreeSet` or justify a keyed-access-only exception |
+//! | `OCT-LINT-002` | `wall-clock` | no `Instant::now`/`SystemTime`/`UNIX_EPOCH` outside `crates/bench` — simulated time comes from the event queue |
+//! | `OCT-LINT-003` | `ambient-rng` | no `thread_rng`/`from_entropy`/`OsRng` anywhere — every stream derives from the master seed via `derive_rng`/`split_seed` |
+//! | `OCT-LINT-004` | `thread-identity` | no `thread::current()`/`ThreadId`/`available_parallelism` outside `TrialRunner`/`RunArgs` — results must not depend on which or how many threads ran |
+//! | `OCT-LINT-005` | `shard-unsafe-write` | no `.write()` on the shared adversary directory outside driver modules — shard threads may only read it |
+//!
+//! Plus the meta-rule `OCT-LINT-000` (`suppression-audit`): a
+//! suppression that lacks a justification, names an unknown rule, or
+//! never fires is itself a violation, so the allow-list stays honest.
+//!
+//! Suppressions are explicit and auditable, one per offending line:
+//!
+//! ```text
+//! index: HashMap<Addr, u32>, // octolint: allow(OCT-LINT-001) -- keyed access only, never iterated
+//! ```
+//!
+//! The analyzer is deliberately dependency-free (no `syn`; the vendor
+//! tree is offline): a hand-rolled lexer strips comments, string/char
+//! literals and attributes, then token-pattern matching drives the
+//! rules. Because it matches tokens, not types, `OCT-LINT-001` fires at
+//! *type-use* sites (`HashMap::new()`, `HashMap<K, V>`) rather than
+//! trying to type the receiver of a `for` loop — any `HashMap` present
+//! in an engine crate is a hazard, which is a superset of the iteration
+//! sites and exactly the posture we want. `use` declarations are
+//! exempt: importing a name is harmless until it is used.
+//!
+//! Diagnostics are path-sorted and line-sorted, so the tool's own
+//! output is replay-stable. Exit codes are script-friendly: 0 clean,
+//! 1 violations, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One enforced rule of the determinism contract.
+#[derive(Clone, Copy, Debug)]
+pub struct Rule {
+    /// Stable diagnostic code (`OCT-LINT-XXX`).
+    pub code: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line contract clause, shown by `--list-rules`.
+    pub summary: &'static str,
+}
+
+/// The rule table (the meta-rule `OCT-LINT-000` first, then 001..005).
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "OCT-LINT-000",
+        name: "suppression-audit",
+        summary: "suppressions must carry a justification, name a known rule, and actually fire",
+    },
+    Rule {
+        code: "OCT-LINT-001",
+        name: "nondet-iteration",
+        summary: "no HashMap/HashSet in engine crates (sim/net/core/id/metrics): \
+                  iteration order is per-process random; use BTreeMap/BTreeSet or justify",
+    },
+    Rule {
+        code: "OCT-LINT-002",
+        name: "wall-clock",
+        summary: "no Instant::now/SystemTime/UNIX_EPOCH outside crates/bench: \
+                  simulated time comes from the event queue",
+    },
+    Rule {
+        code: "OCT-LINT-003",
+        name: "ambient-rng",
+        summary: "no thread_rng/from_entropy/OsRng: derive every stream from the \
+                  master seed (derive_rng/split_seed)",
+    },
+    Rule {
+        code: "OCT-LINT-004",
+        name: "thread-identity",
+        summary: "no thread::current()/ThreadId/available_parallelism outside \
+                  TrialRunner/RunArgs: results must not depend on thread count or identity",
+    },
+    Rule {
+        code: "OCT-LINT-005",
+        name: "shard-unsafe-write",
+        summary: "no .write() on the shared adversary directory outside driver \
+                  modules: shard threads may only read it",
+    },
+];
+
+/// Source prefixes where `OCT-LINT-001`/`005` apply: the deterministic
+/// engine crates whose state feeds replayed results.
+const ENGINE_SRC: &[&str] = &[
+    "crates/sim/src/",
+    "crates/net/src/",
+    "crates/core/src/",
+    "crates/id/src/",
+    "crates/metrics/src/",
+];
+
+/// `OCT-LINT-002` exemption: the bench harness times real wall-clock.
+const WALL_CLOCK_EXEMPT: &[&str] = &["crates/bench/"];
+
+/// `OCT-LINT-004` exemptions: the two sanctioned fan-out sizing sites.
+const THREAD_IDENTITY_EXEMPT: &[&str] = &["crates/core/src/trial.rs", "crates/bench/src/lib.rs"];
+
+/// `OCT-LINT-005` exemptions: the single-threaded driver modules that
+/// legitimately take the adversary write lock between windows, and the
+/// module defining the lock itself.
+const SHARD_WRITE_EXEMPT: &[&str] = &["crates/core/src/simnet.rs", "crates/core/src/adversary.rs"];
+
+/// One diagnostic, anchored to a file/line/column.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated on every platform.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column of the triggering token.
+    pub col: u32,
+    /// Stable rule code.
+    pub code: &'static str,
+    /// Rule name.
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} [{}] {}",
+            self.path, self.line, self.col, self.code, self.rule, self.message
+        )
+    }
+}
+
+/// Result of linting one file or a whole tree.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Violations, sorted by (path, line, col, code).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Diagnostics silenced by a justified suppression.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when no violation survived.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Tok {
+    text: String,
+    line: u32,
+    col: u32,
+    ident: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Suppression {
+    codes: Vec<String>,
+    justified: bool,
+    line: u32,
+    col: u32,
+}
+
+struct Lexed {
+    tokens: Vec<Tok>,
+    suppressions: Vec<Suppression>,
+}
+
+/// Strip comments/strings/chars, collect identifier and punctuation
+/// tokens with positions, and harvest `octolint: allow(...)` directives
+/// from line comments.
+fn lex(source: &str) -> Lexed {
+    let b: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let mut tokens = Vec::new();
+    let mut suppressions = Vec::new();
+
+    let n = b.len();
+    macro_rules! bump {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // line comment (and suppression directive harvesting)
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            if let Some(s) = parse_suppression(&text, line, col) {
+                suppressions.push(s);
+            }
+            col += (i - start) as u32;
+            continue;
+        }
+        // block comment, nested
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            bump!('/');
+            bump!('*');
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!('/');
+                    bump!('*');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!('*');
+                    bump!('/');
+                    i += 2;
+                } else {
+                    bump!(b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // raw strings r"..." / r#"..."# (and br variants via the ident path)
+        if c == 'r' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                // consume r##"  ...  "##
+                while i <= j {
+                    bump!(b[i]);
+                    i += 1;
+                }
+                'raw: while i < n {
+                    if b[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                if i < n {
+                                    bump!(b[i]);
+                                    i += 1;
+                                }
+                            }
+                            break 'raw;
+                        }
+                    }
+                    bump!(b[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            // plain identifier starting with r — fall through
+        }
+        // string literal (also reached after a b/br prefix ident)
+        if c == '"' {
+            bump!('"');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    bump!(b[i]);
+                    bump!(b[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                let done = b[i] == '"';
+                bump!(b[i]);
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        // char literal vs lifetime: 'x' / '\n' vs 'a in generics
+        if c == '\'' {
+            let is_lifetime = i + 1 < n
+                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                && !(i + 2 < n && b[i + 2] == '\'');
+            if is_lifetime {
+                bump!('\'');
+                i += 1; // skip the quote; the label lexes as an ident
+                continue;
+            }
+            bump!('\'');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    bump!(b[i]);
+                    bump!(b[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                let done = b[i] == '\'';
+                bump!(b[i]);
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        // identifier / number
+        if c.is_alphanumeric() || c == '_' {
+            let (tl, tc) = (line, col);
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                bump!(b[i]);
+                i += 1;
+            }
+            tokens.push(Tok {
+                text: b[start..i].iter().collect(),
+                line: tl,
+                col: tc,
+                ident: c.is_alphabetic() || c == '_',
+            });
+            continue;
+        }
+        // whitespace
+        if c.is_whitespace() {
+            bump!(c);
+            i += 1;
+            continue;
+        }
+        // single-char punctuation token
+        tokens.push(Tok {
+            text: c.to_string(),
+            line,
+            col,
+            ident: false,
+        });
+        bump!(c);
+        i += 1;
+    }
+
+    Lexed {
+        tokens: strip_attrs_and_uses(tokens),
+        suppressions,
+    }
+}
+
+/// Parse `// octolint: allow(OCT-LINT-001[, ...]) -- justification`.
+fn parse_suppression(comment: &str, line: u32, col: u32) -> Option<Suppression> {
+    let rest = comment.trim_start_matches('/').trim_start();
+    let rest = rest.strip_prefix("octolint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let (codes_part, tail) = rest.split_once(')')?;
+    let codes: Vec<String> = codes_part
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    let justified = tail
+        .trim_start()
+        .strip_prefix("--")
+        .is_some_and(|j| !j.trim().is_empty());
+    Some(Suppression {
+        codes,
+        justified,
+        line,
+        col,
+    })
+}
+
+/// Drop attribute contents (`#[...]` / `#![...]`) and `use` declaration
+/// bodies from the token stream: neither constitutes a *use* of a
+/// disallowed construct.
+fn strip_attrs_and_uses(tokens: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    let mut in_use = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if in_use {
+            if t.text == ";" {
+                in_use = false;
+            }
+            i += 1;
+            continue;
+        }
+        if t.text == "#" {
+            let bracket = match tokens.get(i + 1) {
+                Some(t1) if t1.text == "[" => Some(i + 1),
+                Some(t1) if t1.text == "!" => match tokens.get(i + 2) {
+                    Some(t2) if t2.text == "[" => Some(i + 2),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(open) = bracket {
+                let mut depth = 0i32;
+                let mut j = open;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        if t.ident && t.text == "use" {
+            in_use = true;
+            i += 1;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+fn has_prefix(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+fn rule_by_code(code: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// Does `tokens[i..]` spell out `pat` (each entry one token)?
+fn seq(tokens: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.len() <= tokens.len() - i && pat.iter().zip(&tokens[i..]).all(|(p, t)| t.text == *p)
+}
+
+/// Candidate violation before suppression filtering.
+struct Candidate {
+    line: u32,
+    col: u32,
+    code: &'static str,
+    message: String,
+}
+
+fn check_tokens(rel_path: &str, tokens: &[Tok]) -> Vec<Candidate> {
+    let engine = has_prefix(rel_path, ENGINE_SRC);
+    let mut out: Vec<Candidate> = Vec::new();
+    let mut seen: BTreeSet<(u32, &'static str)> = BTreeSet::new();
+    let mut push = |line: u32, col: u32, code: &'static str, message: String| {
+        // one diagnostic per (line, rule): `HashMap::new()` is one
+        // hazard, not two
+        if seen.insert((line, code)) {
+            out.push(Candidate {
+                line,
+                col,
+                code,
+                message,
+            });
+        }
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.ident {
+            continue;
+        }
+        match t.text.as_str() {
+            // OCT-LINT-001 — nondeterministic iteration hazard
+            "HashMap" | "HashSet" if engine => push(
+                t.line,
+                t.col,
+                "OCT-LINT-001",
+                format!(
+                    "`{}` in an engine crate: iteration order is seeded per process and \
+                     breaks byte-identical replay; use `BTree{}` or justify a \
+                     keyed-access-only exception",
+                    t.text,
+                    if t.text == "HashMap" { "Map" } else { "Set" },
+                ),
+            ),
+            // OCT-LINT-002 — wall-clock reads
+            "Instant"
+                if seq(tokens, i, &["Instant", ":", ":", "now"])
+                    && !has_prefix(rel_path, WALL_CLOCK_EXEMPT) =>
+            {
+                push(
+                    t.line,
+                    t.col,
+                    "OCT-LINT-002",
+                    "`Instant::now` outside crates/bench: simulated time must come \
+                     from the event queue (`ctx.now()` / `SimTime`)"
+                        .to_string(),
+                );
+            }
+            "SystemTime" | "UNIX_EPOCH" if !has_prefix(rel_path, WALL_CLOCK_EXEMPT) => {
+                push(
+                    t.line,
+                    t.col,
+                    "OCT-LINT-002",
+                    format!(
+                        "`{}` outside crates/bench: wall-clock reads make replay \
+                         depend on when the run happened",
+                        t.text
+                    ),
+                );
+            }
+            // OCT-LINT-003 — ambient randomness
+            "thread_rng" | "from_entropy" | "OsRng" => push(
+                t.line,
+                t.col,
+                "OCT-LINT-003",
+                format!(
+                    "`{}` draws ambient entropy: every RNG must derive from the master \
+                     seed via `derive_rng`/`split_seed`",
+                    t.text
+                ),
+            ),
+            "rand" if seq(tokens, i, &["rand", ":", ":", "random"]) => push(
+                t.line,
+                t.col,
+                "OCT-LINT-003",
+                "`rand::random` draws from the ambient thread RNG: derive a seeded \
+                 stream via `derive_rng`/`split_seed`"
+                    .to_string(),
+            ),
+            // OCT-LINT-004 — thread-identity leakage
+            "available_parallelism" | "ThreadId" if !THREAD_IDENTITY_EXEMPT.contains(&rel_path) => {
+                push(
+                    t.line,
+                    t.col,
+                    "OCT-LINT-004",
+                    format!(
+                        "`{}` outside TrialRunner/RunArgs: results must not depend \
+                         on how many threads the host offers",
+                        t.text
+                    ),
+                );
+            }
+            "thread"
+                if seq(tokens, i, &["thread", ":", ":", "current"])
+                    && !THREAD_IDENTITY_EXEMPT.contains(&rel_path) =>
+            {
+                push(
+                    t.line,
+                    t.col,
+                    "OCT-LINT-004",
+                    "`thread::current` leaks thread identity into engine state".to_string(),
+                );
+            }
+            // OCT-LINT-005 — shard-unsafe shared mutation: `<...adversary...>.write(`
+            "write"
+                if engine
+                    && !SHARD_WRITE_EXEMPT.contains(&rel_path)
+                    && i > 0
+                    && tokens[i - 1].text == "."
+                    && tokens.get(i + 1).is_some_and(|t| t.text == "(") =>
+            {
+                // back-scan the expression for the adversary directory
+                let from = i.saturating_sub(16);
+                let stmt_start = tokens[from..i]
+                    .iter()
+                    .rposition(|t| matches!(t.text.as_str(), ";" | "{" | "}"))
+                    .map_or(from, |p| from + p + 1);
+                if tokens[stmt_start..i]
+                    .iter()
+                    .any(|t| t.ident && (t.text == "adversary" || t.text == "SharedAdversary"))
+                {
+                    push(
+                        t.line,
+                        t.col,
+                        "OCT-LINT-005",
+                        "`.write()` on the shared adversary directory outside a driver \
+                         module: shard threads may only read it; mutate between windows \
+                         from the driver"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Suppression filtering
+// ---------------------------------------------------------------------------
+
+/// Lint one file's source under its workspace-relative path.
+///
+/// Suppression semantics: a justified `// octolint: allow(CODE) -- why`
+/// on the offending line silences that rule there; an unjustified,
+/// unknown-rule, or never-firing suppression is reported as
+/// `OCT-LINT-000`.
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str) -> Report {
+    let Lexed {
+        tokens,
+        suppressions,
+    } = lex(source);
+    let candidates = check_tokens(rel_path, &tokens);
+
+    // line -> suppression index, for matching candidates to allows
+    let by_line: BTreeMap<u32, usize> = suppressions
+        .iter()
+        .enumerate()
+        .map(|(idx, s)| (s.line, idx))
+        .collect();
+    let mut used = vec![false; suppressions.len()];
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+
+    for c in candidates {
+        let covering = by_line
+            .get(&c.line)
+            .copied()
+            .filter(|&idx| suppressions[idx].codes.iter().any(|code| code == c.code));
+        match covering {
+            Some(idx) => {
+                used[idx] = true;
+                if suppressions[idx].justified {
+                    suppressed += 1;
+                } else {
+                    diagnostics.push(Diagnostic {
+                        path: rel_path.to_string(),
+                        line: c.line,
+                        col: c.col,
+                        code: "OCT-LINT-000",
+                        rule: "suppression-audit",
+                        message: format!(
+                            "suppression of {} lacks a justification: write \
+                             `octolint: allow({}) -- <why this site is safe>`",
+                            c.code, c.code
+                        ),
+                    });
+                }
+            }
+            None => {
+                let rule = rule_by_code(c.code).expect("candidate codes come from RULES");
+                diagnostics.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: c.line,
+                    col: c.col,
+                    code: c.code,
+                    rule: rule.name,
+                    message: c.message,
+                });
+            }
+        }
+    }
+
+    // audit the suppressions themselves
+    for (idx, s) in suppressions.iter().enumerate() {
+        for code in &s.codes {
+            if rule_by_code(code).is_none() {
+                diagnostics.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: s.line,
+                    col: s.col,
+                    code: "OCT-LINT-000",
+                    rule: "suppression-audit",
+                    message: format!("suppression names unknown rule `{code}`"),
+                });
+            }
+        }
+        if !used[idx] && s.codes.iter().all(|c| rule_by_code(c).is_some()) {
+            diagnostics.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: s.line,
+                col: s.col,
+                code: "OCT-LINT-000",
+                rule: "suppression-audit",
+                message: format!(
+                    "suppression of {} never fires on this line: remove it or move it \
+                     to the offending line",
+                    s.codes.join(", ")
+                ),
+            });
+        }
+    }
+
+    diagnostics.sort();
+    Report {
+        diagnostics,
+        files_scanned: 1,
+        suppressed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tree walking
+// ---------------------------------------------------------------------------
+
+/// Collect the workspace-relative `.rs` paths `octolint` scans, sorted:
+/// `crates/*/{src,tests,benches,examples}`, plus the root package's
+/// `src/`, `tests/`, `examples/` and `benches/`. `vendor/` (offline
+/// shims of external crates) and any directory named `fixtures` (the
+/// lint's own known-bad corpus) are excluded.
+pub fn scan_paths(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for sub in ["src", "tests", "examples", "benches"] {
+        roots.push(root.join(sub));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let dir = entry?.path();
+            if dir.is_dir() {
+                for sub in ["src", "tests", "examples", "benches"] {
+                    roots.push(dir.join(sub));
+                }
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for r in roots {
+        if r.is_dir() {
+            collect_rs(&r, &mut files)?;
+        }
+    }
+    for f in &mut files {
+        *f = f
+            .strip_prefix(root)
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|_| f.clone());
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<std::io::Result<_>>()?;
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`.
+///
+/// # Errors
+/// Propagates IO errors from walking or reading sources (the CLI maps
+/// those to exit code 2).
+pub fn lint_tree(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for rel in scan_paths(root)? {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let file = lint_source(&rel_str, &source);
+        report.diagnostics.extend(file.diagnostics);
+        report.files_scanned += 1;
+        report.suppressed += file.suppressed;
+    }
+    report.diagnostics.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_strips_comments_strings_attrs_and_uses() {
+        let src = r##"
+            use std::collections::HashMap; // import alone is exempt
+            // HashMap in a comment
+            /* Instant::now in a /* nested */ block comment */
+            #[doc = "SystemTime in an attribute string"]
+            fn f() {
+                let s = "thread_rng inside a string";
+                let r = r#"OsRng inside a raw string"#;
+                let c = 'x';
+                let map: std::collections::BTreeMap<u8, u8> = Default::default();
+                let _ = (s, r, c, map);
+            }
+        "##;
+        let rep = lint_source("crates/sim/src/fake.rs", src);
+        assert!(rep.is_clean(), "false positives: {:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn lifetimes_do_not_derail_the_lexer() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = '\\''; let _ = c; x }\n\
+                   fn g() { let m = std::collections::HashMap::<u8, u8>::new(); let _ = m; }\n";
+        let rep = lint_source("crates/net/src/fake.rs", src);
+        assert_eq!(rep.diagnostics.len(), 1);
+        assert_eq!(rep.diagnostics[0].code, "OCT-LINT-001");
+        assert_eq!(rep.diagnostics[0].line, 2);
+    }
+
+    #[test]
+    fn engine_scope_is_path_based() {
+        let src = "fn f() { let m = HashMap::new(); let _ = m; }";
+        assert!(!lint_source("crates/sim/src/x.rs", src).is_clean());
+        assert!(lint_source("crates/crypto/src/x.rs", src).is_clean());
+        assert!(lint_source("crates/sim/tests/x.rs", src).is_clean());
+    }
+
+    #[test]
+    fn suppression_must_be_justified_and_fire() {
+        let ok = "fn f() { let m = HashMap::new(); let _ = m; } \
+                  // octolint: allow(OCT-LINT-001) -- demo";
+        let rep = lint_source("crates/sim/src/x.rs", ok);
+        assert!(rep.is_clean());
+        assert_eq!(rep.suppressed, 1);
+
+        let bare = "fn f() { let m = HashMap::new(); let _ = m; } \
+                    // octolint: allow(OCT-LINT-001)";
+        let rep = lint_source("crates/sim/src/x.rs", bare);
+        assert_eq!(rep.diagnostics.len(), 1);
+        assert_eq!(rep.diagnostics[0].code, "OCT-LINT-000");
+
+        let unused = "fn f() {} // octolint: allow(OCT-LINT-001) -- nothing here";
+        let rep = lint_source("crates/sim/src/x.rs", unused);
+        assert_eq!(rep.diagnostics.len(), 1);
+        assert_eq!(rep.diagnostics[0].code, "OCT-LINT-000");
+    }
+
+    #[test]
+    fn rule_codes_are_stable() {
+        let codes: Vec<&str> = RULES.iter().map(|r| r.code).collect();
+        assert_eq!(
+            codes,
+            [
+                "OCT-LINT-000",
+                "OCT-LINT-001",
+                "OCT-LINT-002",
+                "OCT-LINT-003",
+                "OCT-LINT-004",
+                "OCT-LINT-005"
+            ]
+        );
+    }
+}

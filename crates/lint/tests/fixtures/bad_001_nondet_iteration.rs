@@ -1,0 +1,20 @@
+// Known-bad fixture: OCT-LINT-001 nondet-iteration.
+// Linted under the synthetic engine path crates/sim/src/bad_001.rs.
+// Tilde markers name the exact diagnostic expected on their line.
+
+fn histogram(xs: &[u64]) -> usize {
+    let mut m = std::collections::HashMap::new(); //~ OCT-LINT-001
+    for &x in xs {
+        *m.entry(x).or_insert(0u64) += 1;
+    }
+    let mut seen = std::collections::HashSet::new(); //~ OCT-LINT-001
+    for (k, v) in &m {
+        // nondeterministic visit order right here
+        seen.insert(k + v);
+    }
+    seen.len()
+}
+
+struct Fine {
+    ordered: std::collections::BTreeMap<u64, u64>, // the contract-approved spelling
+}

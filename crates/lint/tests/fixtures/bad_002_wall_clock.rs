@@ -1,0 +1,13 @@
+// Known-bad fixture: OCT-LINT-002 wall-clock.
+// Linted under crates/net/src/bad_002.rs (and asserted exempt under a
+// crates/bench/ path, where timing real wall-clock is the whole job).
+
+fn how_long() -> u128 {
+    let t0 = std::time::Instant::now(); //~ OCT-LINT-002
+    t0.elapsed().as_nanos()
+}
+
+fn since_epoch() -> u64 {
+    let now = std::time::SystemTime::now(); //~ OCT-LINT-002
+    now.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs() //~ OCT-LINT-002
+}

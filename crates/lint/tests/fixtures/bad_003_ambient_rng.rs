@@ -1,0 +1,21 @@
+// Known-bad fixture: OCT-LINT-003 ambient-rng.
+// Linted under crates/core/src/bad_003.rs; the rule applies everywhere
+// (there is no crate where ambient entropy is part of the contract).
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); //~ OCT-LINT-003
+    rng.gen()
+}
+
+fn reseed() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy() //~ OCT-LINT-003
+}
+
+fn os_entropy() -> u64 {
+    let mut r = OsRng; //~ OCT-LINT-003
+    r.next_u64()
+}
+
+fn convenience() -> u8 {
+    rand::random() //~ OCT-LINT-003
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture: OCT-LINT-004 thread-identity.
+// Linted under crates/metrics/src/bad_004.rs (and asserted exempt under
+// crates/core/src/trial.rs, the sanctioned TrialRunner sizing site).
+
+fn who_am_i() -> std::thread::ThreadId { //~ OCT-LINT-004
+    std::thread::current().id() //~ OCT-LINT-004
+}
+
+fn how_wide() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) //~ OCT-LINT-004
+}

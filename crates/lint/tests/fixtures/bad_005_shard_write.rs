@@ -1,0 +1,23 @@
+// Known-bad fixture: OCT-LINT-005 shard-unsafe-write.
+// Linted under crates/core/src/bad_005.rs (and asserted exempt under
+// crates/core/src/simnet.rs, the single-threaded driver module).
+
+fn fabricate(node: &mut Node) {
+    // a protocol path mutating the shared directory would race the
+    // other shard threads reading it mid-window
+    node.adversary.write().enroll(node.id); //~ OCT-LINT-005
+}
+
+fn evict(adversary: &SharedAdversary, id: u64) {
+    adversary.write().remove(id); //~ OCT-LINT-005
+}
+
+fn reads_are_fine(node: &Node) -> usize {
+    node.adversary.read().live_count()
+}
+
+fn unrelated_io(w: &mut impl std::io::Write, buf: &[u8]) {
+    // `.write()` without the adversary directory in the expression is
+    // ordinary IO, not a contract violation
+    let _ = w.write(buf);
+}

@@ -1,0 +1,15 @@
+// Known-bad fixture: OCT-LINT-000 suppression-audit. Every allow here
+// is defective in a distinct way and must be reported, so the
+// suppression mechanism cannot rot into a silent opt-out.
+
+struct A {
+    m: std::collections::HashMap<u64, u32>, // octolint: allow(OCT-LINT-001) //~ OCT-LINT-000
+}
+
+fn unused() -> u32 {
+    42 // octolint: allow(OCT-LINT-002) -- nothing ever fired here //~ OCT-LINT-000
+}
+
+fn unknown_rule() -> u32 {
+    7 // octolint: allow(OCT-LINT-999) -- no such rule //~ OCT-LINT-000
+}

@@ -1,0 +1,12 @@
+// False-positive-guard fixture: every violation below carries a
+// justified suppression, so the file must lint clean with
+// `suppressed == 2` (the VEF false-positive guard applied to the tool).
+
+struct Index {
+    slots: std::collections::HashMap<u64, u32>, // octolint: allow(OCT-LINT-001) -- keyed access only, never iterated
+}
+
+fn jitter() -> u64 {
+    let mut rng = rand::thread_rng(); // octolint: allow(OCT-LINT-003) -- fixture: pretend-sanctioned entropy site
+    rng.gen()
+}

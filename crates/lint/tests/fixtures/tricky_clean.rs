@@ -1,0 +1,23 @@
+// Tricky-but-clean fixture: every disallowed name below appears only in
+// a position the lexer must strip (comments, strings, raw strings,
+// attributes, char literals, `use` declarations) or in a non-engine
+// construct. Linted under an engine path; must produce zero diagnostics.
+
+use std::collections::HashMap; // the import alone is exempt; uses fire
+
+// HashMap and Instant::now in a line comment
+/* SystemTime in a block comment, /* nested: thread_rng() */ still fine */
+
+#[doc = "UNIX_EPOCH and OsRng inside an attribute string"]
+#[cfg(feature = "HashSet")]
+fn strings<'a>(x: &'a str) -> String {
+    let s = "Instant::now() inside a string literal";
+    let r = r#"available_parallelism in a raw string, "quoted" too"#;
+    let c = '"'; // a char literal that looks like a string opener
+    let l = '\''; // escaped quote char
+    format!("{s}{r}{c}{l}{x}")
+}
+
+fn ordered() -> std::collections::BTreeMap<u64, u64> {
+    std::collections::BTreeMap::new()
+}

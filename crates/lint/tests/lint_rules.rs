@@ -1,0 +1,214 @@
+//! Fixture-based contract tests for `octolint` itself, in the VEF
+//! stable-signature style: each rule is demonstrated by a known-bad
+//! fixture whose `//~ CODE` markers pin the exact diagnostic code and
+//! line, a false-positive guard asserts the real tree (with its
+//! justified suppressions) passes clean, and the CLI's script-friendly
+//! exit codes (0 clean / 1 violations / 2 usage error) are exercised
+//! end to end.
+
+use std::path::{Path, PathBuf};
+
+use octopus_lint::{lint_source, lint_tree, Report, RULES};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Expected diagnostics from `//~ CODE` markers: (1-based line, code).
+fn markers(source: &str) -> Vec<(u32, String)> {
+    source
+        .lines()
+        .enumerate()
+        .filter_map(|(i, l)| {
+            let (_, m) = l.split_once("//~")?;
+            Some((i as u32 + 1, m.trim().to_string()))
+        })
+        .collect()
+}
+
+/// Lint `name` under the synthetic workspace path `as_path` and assert
+/// the diagnostics match the fixture's markers exactly (code and line —
+/// the stable signature), with every column anchored on the line.
+fn assert_fixture(name: &str, as_path: &str) -> Report {
+    let source = fixture(name);
+    let report = lint_source(as_path, &source);
+    let got: Vec<(u32, String)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.code.to_string()))
+        .collect();
+    assert_eq!(
+        got,
+        markers(&source),
+        "{name} under {as_path}: diagnostics diverge from //~ markers\n{:#?}",
+        report.diagnostics
+    );
+    for d in &report.diagnostics {
+        assert!(d.col >= 1, "{name}: column must be 1-based: {d}");
+        assert_eq!(d.path, as_path);
+        let rule = RULES.iter().find(|r| r.code == d.code).expect("known code");
+        assert_eq!(d.rule, rule.name, "rule name is part of the signature");
+    }
+    report
+}
+
+#[test]
+fn rule_001_nondet_iteration_fires_with_stable_code() {
+    assert_fixture("bad_001_nondet_iteration.rs", "crates/sim/src/bad_001.rs");
+    // outside the engine crates the same source is legal
+    let src = fixture("bad_001_nondet_iteration.rs");
+    assert!(lint_source("crates/crypto/src/ok.rs", &src).is_clean());
+}
+
+#[test]
+fn rule_002_wall_clock_fires_with_stable_code() {
+    assert_fixture("bad_002_wall_clock.rs", "crates/net/src/bad_002.rs");
+    // crates/bench times real wall-clock by design
+    let src = fixture("bad_002_wall_clock.rs");
+    assert!(lint_source("crates/bench/src/ok.rs", &src).is_clean());
+}
+
+#[test]
+fn rule_003_ambient_rng_fires_with_stable_code() {
+    assert_fixture("bad_003_ambient_rng.rs", "crates/core/src/bad_003.rs");
+    // no exemption anywhere: ambient entropy is never part of the contract
+    let src = fixture("bad_003_ambient_rng.rs");
+    assert!(!lint_source("examples/demo.rs", &src).is_clean());
+    assert!(!lint_source("crates/anonymity/src/x.rs", &src).is_clean());
+}
+
+#[test]
+fn rule_004_thread_identity_fires_with_stable_code() {
+    assert_fixture(
+        "bad_004_thread_identity.rs",
+        "crates/metrics/src/bad_004.rs",
+    );
+    // the sanctioned TrialRunner/RunArgs sizing sites are exempt
+    let src = fixture("bad_004_thread_identity.rs");
+    assert!(lint_source("crates/core/src/trial.rs", &src).is_clean());
+    assert!(lint_source("crates/bench/src/lib.rs", &src).is_clean());
+}
+
+#[test]
+fn rule_005_shard_write_fires_with_stable_code() {
+    assert_fixture("bad_005_shard_write.rs", "crates/core/src/bad_005.rs");
+    // the single-threaded driver modules may take the write lock
+    let src = fixture("bad_005_shard_write.rs");
+    assert!(lint_source("crates/core/src/simnet.rs", &src).is_clean());
+    assert!(lint_source("crates/core/src/adversary.rs", &src).is_clean());
+}
+
+#[test]
+fn justified_suppressions_silence_and_are_counted() {
+    let report = assert_fixture("suppressed_clean.rs", "crates/net/src/suppressed.rs");
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, 2, "both allows must be exercised");
+}
+
+#[test]
+fn defective_suppressions_are_themselves_violations() {
+    let report = assert_fixture("suppressed_bad.rs", "crates/sim/src/suppressed_bad.rs");
+    assert!(report.diagnostics.iter().all(|d| d.code == "OCT-LINT-000"));
+}
+
+#[test]
+fn lexer_false_positive_guard() {
+    let report = assert_fixture("tricky_clean.rs", "crates/sim/src/tricky.rs");
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, 0);
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The VEF false-positive guard on the real tree: the workspace, with
+/// its justified suppressions, lints clean — so the CI gate only ever
+/// fails on a *new* contract violation.
+#[test]
+fn real_tree_passes_clean() {
+    let report = lint_tree(&workspace_root()).expect("scan workspace");
+    assert!(
+        report.is_clean(),
+        "determinism-contract violations in the tree:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 60,
+        "suspiciously few files scanned ({}) — walker broke?",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressed >= 6,
+        "the audited engine suppressions disappeared ({} left): \
+         did someone bulk-delete allows without migrating?",
+        report.suppressed
+    );
+}
+
+/// Diagnostics are replay-stable: two scans of the same tree produce
+/// byte-identical, path-sorted output.
+#[test]
+fn output_is_deterministic_and_sorted() {
+    let a = lint_tree(&workspace_root()).expect("scan");
+    let b = lint_tree(&workspace_root()).expect("scan");
+    let render = |r: &Report| {
+        r.diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(render(&a), render(&b));
+    let mut sorted = a.diagnostics.clone();
+    sorted.sort();
+    assert_eq!(a.diagnostics, sorted);
+}
+
+/// End-to-end exit codes through the real binary: 0 clean, 1 violation,
+/// 2 usage error — the contract the CI job and scripts rely on.
+#[test]
+fn cli_exit_codes_are_script_friendly() {
+    let bin = env!("CARGO_BIN_EXE_octolint");
+    let clean = std::process::Command::new(bin)
+        .args(["--quiet", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run octolint");
+    assert_eq!(clean.status.code(), Some(0), "clean tree must exit 0");
+    assert!(
+        clean.stdout.is_empty(),
+        "--quiet on a clean tree prints nothing"
+    );
+
+    // a throwaway bad tree under target/ (gitignored, inside the repo)
+    let bad_root = workspace_root().join("target/octolint-exit-code-fixture");
+    let src_dir = bad_root.join("crates/sim/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "fn f() { let m = std::collections::HashMap::<u8, u8>::new(); let _ = m; }\n",
+    )
+    .expect("write");
+    let dirty = std::process::Command::new(bin)
+        .args(["--quiet", "--root"])
+        .arg(&bad_root)
+        .output()
+        .expect("run octolint");
+    assert_eq!(dirty.status.code(), Some(1), "violations must exit 1");
+    let out = String::from_utf8_lossy(&dirty.stdout);
+    assert!(out.contains("OCT-LINT-001"), "diagnostic printed: {out}");
+
+    let usage = std::process::Command::new(bin)
+        .arg("--no-such-flag")
+        .output()
+        .expect("run octolint");
+    assert_eq!(usage.status.code(), Some(2), "usage errors must exit 2");
+}

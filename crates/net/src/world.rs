@@ -48,7 +48,7 @@
 //!   parallel windows are byte-identical by construction — threads
 //!   change wall-clock time, never state.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use octopus_id::NodeId;
 use octopus_sim::{
@@ -419,7 +419,7 @@ pub struct World<B: NodeBehavior, L: LatencyModel> {
     /// Event counters of previously removed nodes: a rejoining address
     /// resumes where it left off, so keys from its new life can never
     /// collide with keys its old life left in flight.
-    counter_floor: HashMap<Addr, u64>,
+    counter_floor: BTreeMap<Addr, u64>,
     /// Timestamp of the last event executed anywhere (monotone).
     now: SimTime,
     latency: L,
@@ -483,7 +483,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
             window: LookaheadWindow::new(lookahead),
             controls: EventQueue::with_scheduler(scheduler),
             driver_seq: 0,
-            counter_floor: HashMap::new(),
+            counter_floor: BTreeMap::new(),
             now: SimTime::ZERO,
             latency,
             master_seed,

@@ -13,6 +13,9 @@ use std::time::Duration;
 use octopus::crypto::onion;
 use rand::Rng;
 
+/// Master seed for the demo's derived RNG streams.
+const DEMO_SEED: u64 = 0x0C70;
+
 struct Relay {
     name: &'static str,
     key: [u8; 32],
@@ -29,8 +32,11 @@ impl Relay {
         if let Ok(packet) = self.inbox.recv() {
             let layer = onion::unwrap(&packet, &self.key).expect("valid layer");
             if self.add_delay {
-                // the middle relay B blurs timing correlation (§4.7)
-                let ms = rand::thread_rng().gen_range(0..100);
+                // the middle relay B blurs timing correlation (§4.7);
+                // the jitter draws from a seeded per-relay stream so the
+                // demo replays identically (determinism contract)
+                let ms = octopus::sim::derive_rng(DEMO_SEED, b"relay-delay", self.addr)
+                    .gen_range(0..100);
                 thread::sleep(Duration::from_millis(ms));
             }
             if layer.next_hop == 0 {
@@ -88,7 +94,7 @@ fn main() {
         b"GET routing-table (key hidden)",
         &keys,
         &[102, 103, 0],
-        rand::thread_rng().gen(),
+        octopus::sim::derive_rng(DEMO_SEED, b"onion-nonce", 0).gen(),
     );
     println!(
         "initiator: sending {}-byte onion to relay A",

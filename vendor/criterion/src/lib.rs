@@ -44,6 +44,9 @@ impl Bencher {
 
     /// Measure `f`, called repeatedly: a warm-up pass sizes the batch so
     /// each sample runs ≥ ~1 ms, then `samples` batches are timed.
+    // Sanctioned wall-clock site: timing real elapsed time is the
+    // bench harness's entire purpose (OCT-LINT-002 exempts benches).
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // warm-up and batch sizing
         let mut batch = 1u64;

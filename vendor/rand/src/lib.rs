@@ -222,6 +222,8 @@ pub fn thread_rng() -> rngs::ThreadRng {
 }
 
 /// Uniform value of type `T` from [`thread_rng`].
+// Sanctioned: the shim's own convenience wrapper over its entropy source.
+#[allow(clippy::disallowed_methods)]
 pub fn random<T: Standard>() -> T {
     thread_rng().gen()
 }
