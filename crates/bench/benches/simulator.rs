@@ -24,6 +24,7 @@ fn bench_sim(c: &mut Criterion) {
                 scheduler: Default::default(),
                 shards: 1,
                 parallel: false,
+                pool_threads: 0,
             };
             SecuritySim::new(cfg).run()
         })

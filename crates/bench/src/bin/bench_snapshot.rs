@@ -1,52 +1,120 @@
 //! Emit the `BENCH_sharded_world.json` performance baseline: the
 //! `sharded_world` gossip workload timed over the 1/2/4/8-shard ×
-//! {step, win, par} grid, as machine-diffable JSON on stdout (progress
-//! goes to stderr, so `cargo run --release -p octopus-bench --bin
-//! bench_snapshot > BENCH_sharded_world.json` works directly).
+//! {step, win, par} grid, at **two populations** (N = 10 000 and
+//! N = 100 000), as machine-diffable JSON.
 //!
 //! The grid matches the criterion bench in `benches/sharded_world.rs`
 //! — same shared workload (`octopus_bench::sharded`), same labels — but
-//! prints medians in a stable schema instead of human-oriented rows, so
+//! prints best-of-[`SAMPLES`] times in a stable schema instead of
+//! human-oriented rows, so
 //! future PRs diff a committed snapshot rather than anecdote (ROADMAP
-//! item 1). `OCTOPUS_SCALE=quick` (the default, N = 10 000) is the
-//! committed profile; `full` (N = 100 000) is available for deeper
-//! local runs.
+//! item 1). Progress goes to stderr; the JSON goes to stdout, or to a
+//! file with `--out`.
+//!
+//! Flags (besides the standard `RunArgs` set):
+//!
+//! - `--out PATH` — write the JSON to `PATH` instead of stdout.
+//! - `--assert-par-wins [MIN_SHARDS]` — after timing, assert that the
+//!   `par` engine beats the classic 1-shard `step` engine
+//!   (events/sec) at every shard count ≥ `MIN_SHARDS` (default 2),
+//!   for every population; exits 1 on a regression. CI runs the quick
+//!   profile with `--assert-par-wins 4` as a perf tripwire.
+//!
+//! `OCTOPUS_SCALE=quick` (the default, N ∈ {10 000, 100 000}) is the
+//! committed profile; `full` swaps in N ∈ {100 000, 1 000 000} for
+//! deeper local runs.
 
 use std::time::Instant;
 
 use octopus_bench::sharded::{approx_events, drive, Mode, SIM_MILLIS};
 use octopus_bench::{RunArgs, Scale};
 
-/// Timed samples per grid cell (plus one untimed warm-up).
-const SAMPLES: usize = 3;
+/// Timed rounds per population (plus one untimed warm-up round). Cells
+/// are timed **interleaved**: each round times every grid cell once, so
+/// a throttling phase of the host hits all cells of a round alike
+/// instead of whichever cell happened to run then. A cell's reported
+/// time is its fastest round — on a shared, thermally noisy box the
+/// minimum is the robust throughput estimator (the sample with the
+/// least external interference), where a median of few samples still
+/// jitters by double-digit percentages.
+const SAMPLES: usize = 5;
 
-/// Median wall-clock nanoseconds for one `drive(n, shards, mode)` call,
-/// and the byte total it produced (identical across the whole grid by
-/// the determinism contract — checked by `main`).
+/// One timed grid cell.
+struct Cell {
+    n: usize,
+    shards: usize,
+    mode: Mode,
+    events_per_sec: u64,
+}
+
+/// Best (minimum) wall-clock nanoseconds per grid cell over
+/// [`SAMPLES`] interleaved rounds, plus the byte total every cell
+/// produced (identical across the whole grid by the determinism
+/// contract — asserted here).
 // Sanctioned wall-clock site: timing real elapsed time is this bin's
 // entire purpose (OCT-LINT-002 exempts crates/bench).
 #[allow(clippy::disallowed_methods)]
-fn time_cell(n: usize, shards: usize, mode: Mode) -> (u64, u64) {
-    let bytes = drive(n, shards, mode); // warm-up, and the sanity value
-    let mut samples: Vec<u64> = (0..SAMPLES)
-        .map(|_| {
+fn time_grid(n: usize, grid: &[(usize, Mode)]) -> (Vec<u64>, u64) {
+    // warm-up round, and the reference byte total
+    let mut reference = None;
+    for &(shards, mode) in grid {
+        let b = drive(n, shards, mode);
+        let r = *reference.get_or_insert(b);
+        assert_eq!(b, r, "n={n} {shards}-shard {} divergence", mode.name());
+    }
+    let reference = reference.expect("grid is non-empty");
+    let mut best = vec![u64::MAX; grid.len()];
+    for round in 0..SAMPLES {
+        eprintln!("bench_snapshot: n={n} round {}/{SAMPLES} ...", round + 1);
+        for (ci, &(shards, mode)) in grid.iter().enumerate() {
             let t0 = Instant::now();
             let b = drive(n, shards, mode);
-            assert_eq!(b, bytes, "nondeterministic drive");
-            t0.elapsed().as_nanos() as u64
-        })
-        .collect();
-    samples.sort_unstable();
-    (samples[samples.len() / 2], bytes)
+            let ns = t0.elapsed().as_nanos() as u64;
+            assert_eq!(b, reference, "nondeterministic drive");
+            best[ci] = best[ci].min(ns);
+        }
+    }
+    (best, reference)
+}
+
+/// bench_snapshot's own flags (everything else is standard `RunArgs`,
+/// which skips flags it does not know).
+struct SnapshotArgs {
+    out: Option<String>,
+    assert_par_wins: Option<usize>,
+}
+
+fn snapshot_args() -> SnapshotArgs {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = None;
+    let mut assert_par_wins = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().cloned(),
+            "--assert-par-wins" => {
+                let explicit = it.peek().and_then(|v| v.parse::<usize>().ok());
+                if explicit.is_some() {
+                    it.next();
+                }
+                assert_par_wins = Some(explicit.unwrap_or(2).max(2));
+            }
+            _ => {}
+        }
+    }
+    SnapshotArgs {
+        out,
+        assert_par_wins,
+    }
 }
 
 fn main() {
     let args = RunArgs::from_env();
-    let (scale_name, n) = match args.scale {
-        Scale::Quick => ("quick", 10_000),
-        Scale::Full => ("full", 100_000),
+    let snap = snapshot_args();
+    let (scale_name, populations): (&str, &[usize]) = match args.scale {
+        Scale::Quick => ("quick", &[10_000, 100_000]),
+        Scale::Full => ("full", &[100_000, 1_000_000]),
     };
-    let events = approx_events(n);
 
     let grid: Vec<(usize, Mode)> = [1usize, 2, 4, 8]
         .iter()
@@ -58,42 +126,73 @@ fn main() {
         })
         .collect();
 
-    let mut rows = Vec::new();
-    let mut reference_bytes = None;
-    for &(shards, mode) in &grid {
-        eprintln!(
-            "bench_snapshot: gossip_n{n}_shards{shards}_{} ...",
-            mode.name()
-        );
-        let (median_ns, bytes) = time_cell(n, shards, mode);
-        let reference = *reference_bytes.get_or_insert(bytes);
-        assert_eq!(
-            bytes,
-            reference,
-            "{shards}-shard {} divergence",
-            mode.name()
-        );
-        let events_per_sec = (events as f64 / (median_ns as f64 / 1e9)).round() as u64;
-        rows.push(format!(
-            "    {{ \"shards\": {shards}, \"mode\": \"{}\", \"median_ns\": {median_ns}, \
-             \"events_per_sec\": {events_per_sec} }}",
-            mode.name()
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut blocks = Vec::new();
+    for &n in populations {
+        let events = approx_events(n);
+        let (best, total_bytes) = time_grid(n, &grid);
+        let mut rows = Vec::new();
+        for (ci, &(shards, mode)) in grid.iter().enumerate() {
+            let best_ns = best[ci];
+            let events_per_sec = (events as f64 / (best_ns as f64 / 1e9)).round() as u64;
+            rows.push(format!(
+                "        {{ \"shards\": {shards}, \"mode\": \"{}\", \"best_ns\": {best_ns}, \
+                 \"events_per_sec\": {events_per_sec} }}",
+                mode.name()
+            ));
+            cells.push(Cell {
+                n,
+                shards,
+                mode,
+                events_per_sec,
+            });
+        }
+        blocks.push(format!(
+            "    {{\n      \"n\": {n},\n      \"approx_events_per_iter\": {events},\n      \
+             \"total_bytes\": {total_bytes},\n      \"results\": [\n{}\n      ]\n    }}",
+            rows.join(",\n")
         ));
     }
 
-    println!("{{");
-    println!("  \"bench\": \"sharded_world\",");
-    println!("  \"scale\": \"{scale_name}\",");
-    println!("  \"n\": {n},");
-    println!("  \"sim_millis\": {SIM_MILLIS},");
-    println!("  \"approx_events_per_iter\": {events},");
-    println!("  \"samples_per_cell\": {SAMPLES},");
-    println!(
-        "  \"total_bytes\": {},",
-        reference_bytes.expect("grid is non-empty")
+    let json = format!(
+        "{{\n  \"bench\": \"sharded_world\",\n  \"scale\": \"{scale_name}\",\n  \
+         \"sim_millis\": {SIM_MILLIS},\n  \"samples_per_cell\": {SAMPLES},\n  \
+         \"populations\": [\n{}\n  ]\n}}\n",
+        blocks.join(",\n")
     );
-    println!("  \"results\": [");
-    println!("{}", rows.join(",\n"));
-    println!("  ]");
-    println!("}}");
+    match &snap.out {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("bench_snapshot: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    if let Some(min_shards) = snap.assert_par_wins {
+        let mut failed = false;
+        for &n in populations {
+            let step1 = cells
+                .iter()
+                .find(|c| c.n == n && c.shards == 1 && c.mode == Mode::Step)
+                .expect("step@1 is in the grid");
+            for c in cells
+                .iter()
+                .filter(|c| c.n == n && c.mode == Mode::Par && c.shards >= min_shards)
+            {
+                let ok = c.events_per_sec >= step1.events_per_sec;
+                eprintln!(
+                    "bench_snapshot: n={n} par@{} {} step@1 ({} vs {} events/s)",
+                    c.shards,
+                    if ok { "beats" } else { "LOSES TO" },
+                    c.events_per_sec,
+                    step1.events_per_sec
+                );
+                failed |= !ok;
+            }
+        }
+        if failed {
+            eprintln!("bench_snapshot: parallel windows regressed below the sequential engine");
+            std::process::exit(1);
+        }
+    }
 }

@@ -36,6 +36,7 @@ fn octopus_config(args: &RunArgs, lookup_interval: Duration, secs: u64) -> SimCo
         scheduler: args.scheduler,
         shards: args.shards,
         parallel: args.parallel,
+        pool_threads: args.pool_threads,
     }
 }
 

@@ -18,6 +18,7 @@
 //! | `OCTOPUS_SCHEDULER` | `--scheduler` | `timing-wheel` or `binary-heap` backend | `timing-wheel` |
 //! | `OCTOPUS_SHARDS` | `--shards` | world shards per simulation (results identical at any count) | 1 |
 //! | `OCTOPUS_PAR` | `--par` | parallel window execution across shards (results identical either way) | off |
+//! | `OCTOPUS_POOL_THREADS` | `--pool-threads` | worker-pool width for parallel windows, `0` = auto (results identical at any width) | `0` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -137,10 +138,15 @@ pub struct RunArgs {
     /// World shards per simulation. Like the scheduler backend, a pure
     /// speed/layout knob: results are identical at any shard count.
     pub shards: usize,
-    /// Parallel window execution: run each shard's in-window event
-    /// batch on its own thread between lookahead barriers. A pure speed
-    /// knob too — sequential and parallel runs are byte-identical.
+    /// Parallel window execution: fan each shard's in-window event
+    /// batch across the persistent worker pool between lookahead
+    /// barriers. A pure speed knob too — sequential and parallel runs
+    /// are byte-identical.
     pub parallel: bool,
+    /// Worker-pool width for parallel windows (`0` = auto: available
+    /// parallelism capped at the shard count). Byte-identical at every
+    /// width.
+    pub pool_threads: usize,
 }
 
 impl Default for RunArgs {
@@ -156,6 +162,7 @@ impl Default for RunArgs {
             scheduler: SchedulerKind::default(),
             shards: 1,
             parallel: false,
+            pool_threads: 0,
         }
     }
 }
@@ -206,6 +213,11 @@ impl RunArgs {
                 "0" | "false" | "no" | "off" => out.parallel = false,
                 _ => {}
             },
+            "pool-threads" => {
+                if let Ok(t) = value.parse::<usize>() {
+                    out.pool_threads = t;
+                }
+            }
             _ => {}
         };
         for (env_key, key) in [
@@ -216,12 +228,13 @@ impl RunArgs {
             ("OCTOPUS_SCHEDULER", "scheduler"),
             ("OCTOPUS_SHARDS", "shards"),
             ("OCTOPUS_PAR", "par"),
+            ("OCTOPUS_POOL_THREADS", "pool-threads"),
         ] {
             if let Some(v) = env(env_key) {
                 apply(key, &v);
             }
         }
-        const KNOWN_FLAGS: [&str; 7] = [
+        const KNOWN_FLAGS: [&str; 8] = [
             "scale",
             "seed",
             "threads",
@@ -229,6 +242,7 @@ impl RunArgs {
             "scheduler",
             "shards",
             "par",
+            "pool-threads",
         ];
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
@@ -297,6 +311,7 @@ impl RunArgs {
             scheduler: self.scheduler,
             shards: self.shards,
             parallel: self.parallel,
+            pool_threads: self.pool_threads,
         }
     }
 }

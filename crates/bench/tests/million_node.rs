@@ -1,0 +1,32 @@
+//! Million-node scale determinism: the gossip workload at N=1,000,000
+//! on 8 shards must reproduce a pinned byte ledger, in both the
+//! sequential and the pooled-parallel engine.
+//!
+//! Ignored by default — the run processes ~6.6M events over a
+//! million-node world and takes minutes in a debug build. Run it with
+//!
+//! ```text
+//! cargo test -p octopus-bench --release -- --ignored million_node_ring
+//! ```
+
+use octopus_bench::sharded::{drive, Mode};
+
+/// Total bytes shipped by `drive(1_000_000, 8, _)`, pinned from a
+/// release run. Any engine change that shifts this number changed
+/// *results*, not just speed.
+const MILLION_NODE_BYTES: u64 = 333_336_500;
+
+#[test]
+#[ignore = "minutes-long at N=1,000,000; run with --release -- --ignored"]
+fn million_node_ring() {
+    assert_eq!(
+        drive(1_000_000, 8, Mode::Par),
+        MILLION_NODE_BYTES,
+        "parallel million-node ledger diverged from the pinned digest"
+    );
+    assert_eq!(
+        drive(1_000_000, 8, Mode::Step),
+        MILLION_NODE_BYTES,
+        "sequential million-node ledger diverged from the pinned digest"
+    );
+}

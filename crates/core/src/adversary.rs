@@ -5,18 +5,20 @@
 //! with negligible delay. This module is that channel: a directory of
 //! live colluders plus the fabrication routines for each active attack.
 //!
-//! Malicious nodes hold a [`SharedAdversary`] (an `Arc<RwLock<…>>`) so a
-//! successful fabrication by one node (e.g. "which colluder most closely
-//! succeeds this position?") reflects every colluder instantly — the
-//! paper's "high-speed communication channel" assumption. Protocol code
-//! only ever *reads* the directory (the dice rolls draw from each
-//! node's own RNG stream), so parallel window execution can consult it
-//! from every shard thread concurrently; the single-threaded simulation
-//! driver takes the write lock between windows to enroll and remove
-//! colluders, which keeps every mutation at a deterministic point.
+//! Malicious nodes hold an [`AdversaryHandle`] onto *their shard's
+//! replica* of the directory, so a successful fabrication by one node
+//! (e.g. "which colluder most closely succeeds this position?") reflects
+//! every colluder instantly — the paper's "high-speed communication
+//! channel" assumption. Protocol code only ever *reads* the directory
+//! (the dice rolls draw from each node's own RNG stream), and because
+//! each shard reads a private replica, parallel window execution never
+//! contends on a shared lock or bounces its cache lines. The
+//! single-threaded simulation driver mutates **all** replicas in shard
+//! order between windows via [`ShardedAdversary::update`] — the
+//! deterministic barrier-time merge that keeps every replica identical.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 use octopus_chord::signed::successor_list_table;
 use octopus_chord::{ChordConfig, SignedSuccessorList};
@@ -47,7 +49,7 @@ pub enum AttackKind {
 }
 
 /// Shared adversary directory and fabrication logic.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AdversaryState {
     kind: AttackKind,
     /// Probability a malicious node attacks a given opportunity
@@ -65,27 +67,89 @@ pub struct AdversaryState {
     keypairs: BTreeMap<NodeId, (KeyPair, Certificate)>,
 }
 
-/// Shared handle to the adversary: cheap to clone into every malicious
-/// node, readable from concurrent shard threads, writable only by the
-/// single-threaded driver between windows.
+/// The range-partitioned adversary directory: one [`AdversaryState`]
+/// replica per world shard. Shard threads read *their own* replica
+/// through an [`AdversaryHandle`], so parallel windows never contend on
+/// one lock; the single-threaded driver mutates **all** replicas in
+/// shard order between windows via [`ShardedAdversary::update`], which
+/// keeps every replica byte-identical (the barrier-time merge).
 #[derive(Clone, Debug)]
-pub struct SharedAdversary(Arc<RwLock<AdversaryState>>);
+pub struct ShardedAdversary {
+    replicas: Arc<Vec<RwLock<AdversaryState>>>,
+}
 
-impl SharedAdversary {
-    /// Read access (protocol fabrication paths; safe from any thread).
+impl ShardedAdversary {
+    /// A handle pinned to `shard`'s replica, cloned into each malicious
+    /// node that the world maps onto that shard.
+    ///
+    /// # Panics
+    /// Panics when `shard` is out of range.
+    #[must_use]
+    pub fn handle(&self, shard: usize) -> AdversaryHandle {
+        assert!(
+            shard < self.replicas.len(),
+            "shard {shard} out of range ({} replicas)",
+            self.replicas.len()
+        );
+        AdversaryHandle {
+            replicas: Arc::clone(&self.replicas),
+            shard,
+        }
+    }
+
+    /// Number of per-shard replicas.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Driver-side read access (replica 0; every replica is identical).
     ///
     /// # Panics
     /// Panics if a previous lock holder panicked (poisoned lock).
     pub fn read(&self) -> RwLockReadGuard<'_, AdversaryState> {
-        self.0.read().expect("adversary lock poisoned")
+        self.replicas[0].read().expect("adversary lock poisoned")
     }
 
-    /// Write access (driver-side enroll/remove/share, between windows).
+    /// Apply one mutation to every replica, in shard order, and return
+    /// the value it produced on replica 0. Driver-only, between windows
+    /// — this is the deterministic barrier-time merge; `f` must be a
+    /// pure function of its argument (it runs once per replica).
     ///
     /// # Panics
     /// Panics if a previous lock holder panicked (poisoned lock).
-    pub fn write(&self) -> RwLockWriteGuard<'_, AdversaryState> {
-        self.0.write().expect("adversary lock poisoned")
+    pub fn update<T>(&self, f: impl Fn(&mut AdversaryState) -> T) -> T {
+        let mut first = None;
+        for (i, replica) in self.replicas.iter().enumerate() {
+            let out = f(&mut replica.write().expect("adversary lock poisoned"));
+            if i == 0 {
+                first = Some(out);
+            }
+        }
+        first.expect("at least one replica")
+    }
+}
+
+/// A malicious node's read handle onto its shard's replica of the
+/// adversary directory. Reads are uncontended across shards by
+/// construction; all writes flow through [`ShardedAdversary::update`].
+#[derive(Clone, Debug)]
+pub struct AdversaryHandle {
+    replicas: Arc<Vec<RwLock<AdversaryState>>>,
+    shard: usize,
+}
+
+impl AdversaryHandle {
+    /// Read access (protocol fabrication paths; safe from the owning
+    /// shard's thread — or any thread, the replica is merely *warmer*
+    /// on its own shard).
+    ///
+    /// # Panics
+    /// Panics if a previous lock holder panicked (poisoned lock).
+    pub fn read(&self) -> RwLockReadGuard<'_, AdversaryState> {
+        self.replicas[self.shard]
+            .read()
+            .expect("adversary lock poisoned")
     }
 }
 
@@ -137,10 +201,19 @@ impl AdversaryState {
         ))
     }
 
-    /// Wrap in the shared handle.
+    /// Replicate into the sharded directory, one replica per world
+    /// shard (clamped to at least one).
     #[must_use]
-    pub fn shared(self) -> SharedAdversary {
-        SharedAdversary(Arc::new(RwLock::new(self)))
+    pub fn sharded(self, shards: usize) -> ShardedAdversary {
+        let shards = shards.max(1);
+        let mut replicas = Vec::with_capacity(shards);
+        for _ in 0..shards.saturating_sub(1) {
+            replicas.push(RwLock::new(self.clone()));
+        }
+        replicas.push(RwLock::new(self));
+        ShardedAdversary {
+            replicas: Arc::new(replicas),
+        }
     }
 
     /// The active attack.
@@ -367,6 +440,22 @@ mod tests {
         let always = AdversaryState::new(AttackKind::LookupBias, 1.0, 0.5);
         assert!(!(0..100).any(|_| never.attacks_now(&mut rng)));
         assert!((0..100).all(|_| always.attacks_now(&mut rng)));
+    }
+
+    #[test]
+    fn sharded_update_keeps_replicas_identical() {
+        let sharded = adversary_with(&[10, 20]).sharded(4);
+        assert_eq!(sharded.replica_count(), 4);
+        assert!(sharded.update(|a| a.remove(NodeId(10))));
+        sharded.update(|a| a.enroll(NodeId(40)));
+        for s in 0..4 {
+            let view = sharded.handle(s);
+            let a = view.read();
+            assert!(!a.is_colluder(NodeId(10)));
+            assert!(a.is_colluder(NodeId(40)));
+            assert_eq!(a.live_count(), 2);
+        }
+        assert_eq!(sharded.read().live_count(), 2);
     }
 
     #[test]

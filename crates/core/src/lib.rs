@@ -45,7 +45,7 @@ pub mod surveillance;
 pub mod trial;
 pub mod walk;
 
-pub use adversary::{AdversaryState, AttackKind, SharedAdversary};
+pub use adversary::{AdversaryHandle, AdversaryState, AttackKind, ShardedAdversary};
 pub use ca::CaNode;
 pub use config::OctopusConfig;
 pub use messages::{Msg, OnionPacket, Timer};

@@ -2,7 +2,7 @@
 //! response paths where a malicious peer deviates.
 //!
 //! One type plays both roles. Honest behaviour is the default; a node
-//! carrying a [`SharedAdversary`] handle fabricates responses according
+//! carrying an [`AdversaryHandle`] fabricates responses according
 //! to the active [`AttackKind`]. Keeping
 //! both in one implementation guarantees attackers and defenders see
 //! exactly the same protocol surface — a malicious node cannot tell a
@@ -21,7 +21,7 @@ use octopus_net::{Addr, Ctx, NodeBehavior};
 use octopus_sim::Duration;
 use rand::Rng;
 
-use crate::adversary::{AttackKind, SharedAdversary};
+use crate::adversary::{AdversaryHandle, AttackKind};
 use crate::config::OctopusConfig;
 use crate::lookup::LookupState;
 use crate::messages::{
@@ -163,7 +163,7 @@ pub struct OctopusNode {
 
     // ---- misc ----
     pub(crate) revoked: BTreeSet<NodeId>,
-    pub(crate) adversary: Option<SharedAdversary>,
+    pub(crate) adversary: Option<AdversaryHandle>,
     /// Lookups completed by this node (diagnostics).
     pub lookups_done: u64,
 }
@@ -179,7 +179,7 @@ impl OctopusNode {
         cert: Certificate,
         ca_addr: NodeId,
         ca_key: PublicKey,
-        adversary: Option<SharedAdversary>,
+        adversary: Option<AdversaryHandle>,
     ) -> Self {
         OctopusNode {
             id,

@@ -14,14 +14,14 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use octopus_chord::ChordConfig;
 use octopus_crypto::{CertificateAuthority, KeyPair};
-use octopus_id::{IdSpace, Key, NodeId};
+use octopus_id::{IdSpace, Key, NodeId, ShardedIdSpace};
 use octopus_metrics::{merge_point_series, Merge};
 use octopus_net::{Addr, Ctx, KingLikeLatency, NodeBehavior, World};
 use octopus_sim::{derive_rng, ChurnProcess, Duration, SchedulerKind, SimTime};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::adversary::{AdversaryState, AttackKind, SharedAdversary};
+use crate::adversary::{AdversaryState, AttackKind, ShardedAdversary};
 use crate::ca::CaNode;
 use crate::config::OctopusConfig;
 use crate::messages::{Msg, Timer};
@@ -184,12 +184,17 @@ pub struct SimConfig {
     /// identical [`SimReport`] at every shard count (pinned by the
     /// `engine_determinism` regression tests).
     pub shards: usize,
-    /// Whether the world executes each shard's in-window event batch on
-    /// its own scoped thread between lookahead barriers
+    /// Whether the world fans each shard's in-window event batch across
+    /// the persistent worker pool between lookahead barriers
     /// (`OCTOPUS_PAR`). Like `shards` and `scheduler`, a pure speed
     /// knob: sequential and parallel windows produce byte-identical
     /// reports (also pinned by `engine_determinism`).
     pub parallel: bool,
+    /// Worker-pool width for parallel windows (`OCTOPUS_POOL_THREADS`;
+    /// `0` = auto: the machine's available parallelism, capped at the
+    /// shard count). Another pure speed knob — reports are
+    /// byte-identical at every width.
+    pub pool_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -208,6 +213,7 @@ impl Default for SimConfig {
             scheduler: SchedulerKind::default(),
             shards: 1,
             parallel: false,
+            pool_threads: 0,
         }
     }
 }
@@ -396,8 +402,10 @@ impl Merge for SimReport {
 pub struct SecuritySim {
     cfg: SimConfig,
     world: World<Actor, KingLikeLatency>,
-    space: IdSpace,
-    adversary: SharedAdversary,
+    /// Ground-truth membership, range-partitioned for cheap churn
+    /// updates at large `n` (queries see the merged sorted universe).
+    space: ShardedIdSpace,
+    adversary: ShardedAdversary,
     /// The full original malicious set (revocations don't erase guilt).
     initial_malicious: BTreeSet<NodeId>,
     unrevoked_malicious: BTreeSet<NodeId>,
@@ -426,10 +434,10 @@ impl SecuritySim {
         let n_mal = (cfg.n as f64 * cfg.malicious_fraction).round() as usize;
         let malicious: BTreeSet<NodeId> = ids.iter().take(n_mal).copied().collect();
 
-        let adversary =
-            AdversaryState::new(cfg.attack, cfg.attack_rate, cfg.consistent_collusion).shared();
+        let mut adversary_state =
+            AdversaryState::new(cfg.attack, cfg.attack_rate, cfg.consistent_collusion);
         for &m in &malicious {
-            adversary.write().enroll(m);
+            adversary_state.enroll(m);
         }
 
         // --- certificates & CA ---
@@ -449,16 +457,23 @@ impl SecuritySim {
         let mut world: World<Actor, KingLikeLatency> =
             World::with_shards(latency, cfg.seed, cfg.scheduler, cfg.shards);
         world.set_parallel(cfg.parallel);
+        world.set_worker_threads(cfg.pool_threads);
         world.insert_node(CA_ADDR, Actor::Ca(Box::new(ca_node)));
 
         let chord = cfg.octopus.chord;
         for &m in &malicious {
             let (kp, cert) = keys.get(&m).expect("key exists");
-            adversary.write().share_keys(m, kp.clone(), *cert);
+            adversary_state.share_keys(m, kp.clone(), *cert);
         }
-        for &id in space.ids() {
+        // replicate the fully-seeded directory, one replica per shard
+        let adversary = adversary_state.sharded(world.shard_count());
+        let shard_map = world.shard_map();
+        let space = ShardedIdSpace::from(space);
+        for id in space.iter() {
             let (kp, cert) = keys.get(&id).expect("key exists");
-            let adv = malicious.contains(&id).then(|| adversary.clone());
+            let adv = malicious
+                .contains(&id)
+                .then(|| adversary.handle(shard_map.shard_of(id)));
             let mut node =
                 OctopusNode::new(id, cfg.octopus, kp.clone(), *cert, CA_ADDR, ca_key, adv);
             seed_from_truth(&mut node, &space, chord, &mut rng);
@@ -491,7 +506,7 @@ impl SecuritySim {
     fn schedule_initial_events(&mut self) {
         // churn
         if self.churn.is_enabled() {
-            let ids: Vec<NodeId> = self.space.ids().to_vec();
+            let ids: Vec<NodeId> = self.space.to_vec();
             for id in ids {
                 let life = self.churn.sample_lifetime(&mut self.rng);
                 if SimTime::ZERO + life <= SimTime::ZERO + self.cfg.duration {
@@ -514,9 +529,9 @@ impl SecuritySim {
         self.space.owner_of(key).owner
     }
 
-    /// The shared adversary directory.
+    /// The sharded adversary directory.
     #[must_use]
-    pub fn adversary(&self) -> &SharedAdversary {
+    pub fn adversary(&self) -> &ShardedAdversary {
         &self.adversary
     }
 
@@ -685,7 +700,7 @@ impl SecuritySim {
     fn apply_revocation(&mut self, id: NodeId) {
         self.revoked.insert(id);
         self.unrevoked_malicious.remove(&id);
-        self.adversary.write().remove(id);
+        self.adversary.update(|a| a.remove(id));
         self.space.remove(id);
         self.world.remove_node(id);
     }
@@ -696,7 +711,7 @@ impl SecuritySim {
         }
         self.world.remove_node(id);
         self.space.remove(id);
-        self.adversary.write().remove(id);
+        self.adversary.update(|a| a.remove(id));
         self.with_ca(|ca| ca.note_death(id, now.as_secs_f64() as u64));
         let gap = self
             .churn
@@ -713,7 +728,7 @@ impl SecuritySim {
         self.space.insert(id);
         let malicious = self.initial_malicious.contains(&id);
         if malicious {
-            self.adversary.write().enroll(id);
+            self.adversary.update(|a| a.enroll(id));
         }
         let (kp, cert) = self.keys.get(&id).expect("keys exist").clone();
         let ca_key = self.with_ca_ref(|ca| ca.public_key());
@@ -724,7 +739,7 @@ impl SecuritySim {
             cert,
             CA_ADDR,
             ca_key,
-            malicious.then(|| self.adversary.clone()),
+            malicious.then(|| self.adversary.handle(self.world.shard_map().shard_of(id))),
         );
         let chord = self.cfg.octopus.chord;
         seed_from_truth(&mut node, &self.space, chord, &mut self.rng);
@@ -737,7 +752,8 @@ impl SecuritySim {
         );
         if malicious {
             let (kp, cert) = self.keys.get(&id).expect("keys exist");
-            self.adversary.write().share_keys(id, kp.clone(), *cert);
+            self.adversary
+                .update(|a| a.share_keys(id, kp.clone(), *cert));
         }
         self.world.insert_node(id, Actor::Peer(Box::new(node)));
         self.with_ca(|ca| ca.note_join(id, now.as_secs_f64() as u64));
@@ -761,7 +777,7 @@ impl SecuritySim {
     /// mass revocation of their (malicious) neighborhood — stands in for
     /// a re-join, which the idealized join protocol would perform.
     fn heal_starved_nodes(&mut self) {
-        let ids: Vec<NodeId> = self.space.ids().to_vec();
+        let ids: Vec<NodeId> = self.space.to_vec();
         let chord = self.cfg.octopus.chord;
         for id in ids {
             let starved = matches!(
@@ -804,7 +820,7 @@ impl SecuritySim {
 /// produced — the successor list of the finger target's predecessor.
 fn seed_provenance(
     node: &mut OctopusNode,
-    space: &IdSpace,
+    space: &ShardedIdSpace,
     chord: ChordConfig,
     keys: &BTreeMap<NodeId, (KeyPair, octopus_crypto::Certificate)>,
     now: u64,
@@ -833,7 +849,7 @@ fn seed_provenance(
 /// Initialize a node's ring state from ground truth (idealized join).
 fn seed_from_truth(
     node: &mut OctopusNode,
-    space: &IdSpace,
+    space: &ShardedIdSpace,
     chord: ChordConfig,
     rng: &mut impl Rng,
 ) {

@@ -22,6 +22,7 @@ fn diagnose_passive() {
         scheduler: Default::default(),
         shards: 1,
         parallel: false,
+        pool_threads: 0,
     };
     let mut sim = SecuritySim::new(cfg);
     let report = sim.run_debug();

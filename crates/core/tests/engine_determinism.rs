@@ -131,6 +131,31 @@ fn security_sim_identical_across_modes_shards_and_backends() {
     }
 }
 
+/// The persistent worker pool is invisible in results: forcing a
+/// 2-thread pool (which single-core CI would otherwise size down to
+/// inline execution) reproduces the sequential baseline byte for byte
+/// at every shard count and on both scheduler backends.
+#[test]
+fn pooled_windows_identical_to_sequential_baseline() {
+    let baseline = SecuritySim::new(small(17, SchedulerKind::TimingWheel)).run();
+    for shards in [2usize, 4] {
+        for kind in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+            let cfg = SimConfig {
+                shards,
+                parallel: true,
+                pool_threads: 2,
+                ..small(17, kind)
+            };
+            let probe = SecuritySim::new(cfg).run();
+            assert_eq!(
+                baseline, probe,
+                "{shards}-shard pooled {kind:?} run diverged"
+            );
+            assert_eq!(format!("{baseline:?}"), format!("{probe:?}"));
+        }
+    }
+}
+
 /// `TrialRunner::run_mode_sweep` composes the shards × mode grid
 /// through one batch, and every grid point matches.
 #[test]

@@ -21,6 +21,7 @@ fn base(attack: AttackKind, seed: u64) -> SimConfig {
         scheduler: Default::default(),
         shards: 1,
         parallel: false,
+        pool_threads: 0,
     }
 }
 

@@ -17,7 +17,9 @@
 #![warn(missing_docs)]
 
 pub mod ring;
+pub mod sharded;
 pub mod space;
 
 pub use ring::{Key, NodeId, RingInterval, RING_BITS};
+pub use sharded::ShardedIdSpace;
 pub use space::{IdSpace, KeyOwnership};

@@ -1,0 +1,350 @@
+//! A range-partitioned identifier space for large, churning rings.
+//!
+//! [`IdSpace`] keeps one sorted `Vec`, so membership updates memmove
+//! `O(N)` — fine at the paper's N=1000, painful for million-node rings
+//! where churn and revocation mutate the ground truth constantly.
+//! [`ShardedIdSpace`] stores the same sorted universe as [`SLICES`]
+//! contiguous range partitions (the top id bits pick the slice, exactly
+//! like the world's `ShardMap` picks a shard), so an insert or remove
+//! memmoves only `O(N / SLICES)` while every query still sees the one
+//! global ring order.
+//!
+//! The slice count is a **fixed constant**, deliberately decoupled from
+//! the world's shard count: the partition is pure storage layout, and
+//! tying it to a run-time knob would invite layout-dependent iteration
+//! orders. Every query answers over the merged view — concatenating the
+//! slices *is* the sorted universe — so results are byte-identical to
+//! [`IdSpace`] for any operation sequence, including the RNG draws of
+//! [`ShardedIdSpace::random_member`] (pinned by tests).
+
+use rand::Rng;
+
+use crate::ring::{Key, NodeId};
+use crate::space::{IdSpace, KeyOwnership};
+
+/// Number of range partitions (a power of two; the top 6 id bits).
+pub const SLICES: usize = 64;
+
+/// Bits to shift an id right to obtain its slice index.
+const SLICE_SHIFT: u32 = 64 - SLICES.trailing_zeros();
+
+/// A sorted universe of node identifiers, stored as [`SLICES`]
+/// contiguous range partitions. Same queries and semantics as
+/// [`IdSpace`]; `O(N / SLICES)` membership updates.
+#[derive(Clone, Debug)]
+pub struct ShardedIdSpace {
+    /// Slice `s` holds the sorted ids whose top bits equal `s`;
+    /// concatenated, the slices form the sorted universe.
+    slices: Vec<Vec<NodeId>>,
+    /// Total id count (the sum of slice lengths).
+    len: usize,
+}
+
+/// The slice owning `id`.
+fn slice_of(id: NodeId) -> usize {
+    (id.0 >> SLICE_SHIFT) as usize
+}
+
+impl From<IdSpace> for ShardedIdSpace {
+    fn from(space: IdSpace) -> Self {
+        Self::new(space.ids())
+    }
+}
+
+impl ShardedIdSpace {
+    /// Build from a slice of ids (sorted or not; duplicates removed).
+    #[must_use]
+    pub fn new(ids: &[NodeId]) -> Self {
+        let mut slices: Vec<Vec<NodeId>> = (0..SLICES).map(|_| Vec::new()).collect();
+        for &id in ids {
+            slices[slice_of(id)].push(id);
+        }
+        let mut len = 0;
+        for slice in &mut slices {
+            slice.sort_unstable();
+            slice.dedup();
+            len += slice.len();
+        }
+        ShardedIdSpace { slices, len }
+    }
+
+    /// Number of ids in the space.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the space holds no ids.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does the space contain `id`?
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.slices[slice_of(id)].binary_search(&id).is_ok()
+    }
+
+    /// Iterate over every id in global sorted (ring) order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slices.iter().flatten().copied()
+    }
+
+    /// The merged read-only view: one sorted [`IdSpace`] (an `O(N)`
+    /// copy — materialize it for bulk consumers, not per query).
+    #[must_use]
+    pub fn merged(&self) -> IdSpace {
+        IdSpace::new(self.to_vec())
+    }
+
+    /// The sorted ids, materialized (`O(N)`).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+
+    /// The id at global sorted index `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len`.
+    #[must_use]
+    pub fn at(&self, mut i: usize) -> NodeId {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        for slice in &self.slices {
+            if i < slice.len() {
+                return slice[i];
+            }
+            i -= slice.len();
+        }
+        unreachable!("len invariant violated")
+    }
+
+    /// Global sorted index of `id`, or the insertion point
+    /// (`Err`) where it would go — the sharded analogue of
+    /// `ids.binary_search(&id)`.
+    fn search(&self, id: NodeId) -> Result<usize, usize> {
+        let s = slice_of(id);
+        let before: usize = self.slices[..s].iter().map(Vec::len).sum();
+        match self.slices[s].binary_search(&id) {
+            Ok(i) => Ok(before + i),
+            Err(i) => Err(before + i),
+        }
+    }
+
+    /// Index of `id` in sorted order, if present.
+    #[must_use]
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.search(id).ok()
+    }
+
+    /// The node owning `key`: the first node clockwise at or after the
+    /// key (Chord's `successor(key)`). Identical to
+    /// [`IdSpace::owner_of`].
+    ///
+    /// # Panics
+    /// Panics when the space is empty.
+    #[must_use]
+    pub fn owner_of(&self, key: Key) -> KeyOwnership {
+        assert!(!self.is_empty(), "empty id space");
+        let index = match self.search(key.as_id()) {
+            Ok(i) => i,
+            Err(i) if i == self.len => 0, // wrap to the smallest id
+            Err(i) => i,
+        };
+        KeyOwnership {
+            owner: self.at(index),
+            index,
+        }
+    }
+
+    /// The `k`-th successor of position `id` (k = 1 is the immediate
+    /// successor). `id` itself need not be a member.
+    #[must_use]
+    pub fn successor(&self, id: NodeId, k: usize) -> NodeId {
+        assert!(!self.is_empty(), "empty id space");
+        let base = match self.search(id) {
+            Ok(i) => i,
+            // first id strictly greater is already the 1st successor
+            Err(i) => (i + self.len - 1) % self.len,
+        };
+        self.at((base + k) % self.len)
+    }
+
+    /// The `k`-th predecessor of position `id` (k = 1 is the immediate
+    /// predecessor).
+    #[must_use]
+    pub fn predecessor(&self, id: NodeId, k: usize) -> NodeId {
+        assert!(!self.is_empty(), "empty id space");
+        let n = self.len;
+        let base = match self.search(id) {
+            Ok(i) => i,
+            Err(i) => i % n, // first id after the position; pred(1) steps back from it
+        };
+        self.at((base + n - (k % n)) % n)
+    }
+
+    /// The first `k` successors of `id`, in ring order.
+    #[must_use]
+    pub fn successor_list(&self, id: NodeId, k: usize) -> Vec<NodeId> {
+        (1..=k).map(|i| self.successor(id, i)).collect()
+    }
+
+    /// The first `k` predecessors of `id`, closest first.
+    #[must_use]
+    pub fn predecessor_list(&self, id: NodeId, k: usize) -> Vec<NodeId> {
+        (1..=k).map(|i| self.predecessor(id, i)).collect()
+    }
+
+    /// A uniformly random member id. Consumes exactly the RNG draw
+    /// [`IdSpace::random_member`] consumes (one `gen_range(0..len)`), so
+    /// swapping the storage never shifts a seeded stream.
+    ///
+    /// # Panics
+    /// Panics when the space is empty.
+    pub fn random_member<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        assert!(!self.is_empty(), "empty id space");
+        self.at(rng.gen_range(0..self.len))
+    }
+
+    /// Remove an id (e.g. a churned node). Returns whether it was
+    /// present. Memmoves `O(N / SLICES)`.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let slice = &mut self.slices[slice_of(id)];
+        match slice.binary_search(&id) {
+            Ok(i) => {
+                slice.remove(i);
+                self.len -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Insert an id (e.g. a joining node). Returns whether it was new.
+    /// Memmoves `O(N / SLICES)`.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let slice = &mut self.slices[slice_of(id)];
+        match slice.binary_search(&id) {
+            Ok(_) => false,
+            Err(i) => {
+                slice.insert(i, id);
+                self.len += 1;
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Ids spread across several slices plus a cluster inside one.
+    fn ids() -> Vec<NodeId> {
+        vec![
+            NodeId(10),
+            NodeId(20),
+            NodeId(1 << 60),
+            NodeId((1 << 60) + 5),
+            NodeId(7 << 60),
+            NodeId(u64::MAX - 3),
+        ]
+    }
+
+    #[test]
+    fn mirrors_idspace_queries() {
+        let flat = IdSpace::new(ids());
+        let sharded = ShardedIdSpace::new(&ids());
+        assert_eq!(sharded.len(), flat.len());
+        assert_eq!(sharded.to_vec(), flat.ids());
+        for probe in [0u64, 10, 11, 1 << 59, (1 << 60) + 1, u64::MAX] {
+            assert_eq!(
+                sharded.owner_of(Key(probe)),
+                flat.owner_of(Key(probe)),
+                "owner_of({probe})"
+            );
+            for k in 1..=3 {
+                assert_eq!(
+                    sharded.successor(NodeId(probe), k),
+                    flat.successor(NodeId(probe), k)
+                );
+                assert_eq!(
+                    sharded.predecessor(NodeId(probe), k),
+                    flat.predecessor(NodeId(probe), k)
+                );
+            }
+        }
+        assert_eq!(
+            sharded.successor_list(NodeId(10), 4),
+            flat.successor_list(NodeId(10), 4)
+        );
+        assert_eq!(
+            sharded.predecessor_list(NodeId(10), 4),
+            flat.predecessor_list(NodeId(10), 4)
+        );
+    }
+
+    #[test]
+    fn random_member_consumes_the_same_draw() {
+        let flat = IdSpace::new(ids());
+        let sharded = ShardedIdSpace::new(&ids());
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        for _ in 0..32 {
+            assert_eq!(sharded.random_member(&mut r1), flat.random_member(&mut r2));
+        }
+    }
+
+    #[test]
+    fn insert_remove_mirror_flat_semantics() {
+        let mut sharded = ShardedIdSpace::new(&ids());
+        let extra = NodeId((1 << 60) + 3);
+        assert!(sharded.insert(extra));
+        assert!(!sharded.insert(extra));
+        assert!(sharded.contains(extra));
+        assert_eq!(sharded.index_of(extra), Some(3));
+        assert_eq!(sharded.owner_of(Key((1 << 60) + 1)).owner, extra);
+        assert!(sharded.remove(extra));
+        assert!(!sharded.remove(extra));
+        assert_eq!(
+            sharded.owner_of(Key((1 << 60) + 1)).owner,
+            NodeId((1 << 60) + 5)
+        );
+    }
+
+    #[test]
+    fn merged_view_roundtrips() {
+        let sharded = ShardedIdSpace::new(&ids());
+        let merged = sharded.merged();
+        assert_eq!(merged.ids(), sharded.to_vec());
+        assert_eq!(
+            ShardedIdSpace::from(merged).to_vec(),
+            sharded.to_vec(),
+            "IdSpace -> ShardedIdSpace -> IdSpace is lossless"
+        );
+    }
+
+    #[test]
+    fn random_population_agrees_with_flat_under_churn() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let flat = IdSpace::random(500, &mut rng);
+        let mut sharded = ShardedIdSpace::from(flat.clone());
+        let mut flat = flat;
+        // churn a third of the population out and back in
+        let victims: Vec<NodeId> = flat.ids().iter().step_by(3).copied().collect();
+        for &v in &victims {
+            assert_eq!(sharded.remove(v), flat.remove(v));
+        }
+        for &v in &victims {
+            assert_eq!(sharded.insert(v), flat.insert(v));
+        }
+        assert_eq!(sharded.to_vec(), flat.ids());
+        for probe in 0..64u64 {
+            let key = Key(probe.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            assert_eq!(sharded.owner_of(key), flat.owner_of(key));
+        }
+    }
+}

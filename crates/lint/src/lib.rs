@@ -13,8 +13,8 @@
 //! | `OCT-LINT-001` | `nondet-iteration` | no `HashMap`/`HashSet` in engine crates (`sim`, `net`, `core`, `id`, `metrics`) — iteration order is seeded per process; use `BTreeMap`/`BTreeSet` or justify a keyed-access-only exception |
 //! | `OCT-LINT-002` | `wall-clock` | no `Instant::now`/`SystemTime`/`UNIX_EPOCH` outside `crates/bench` — simulated time comes from the event queue |
 //! | `OCT-LINT-003` | `ambient-rng` | no `thread_rng`/`from_entropy`/`OsRng` anywhere — every stream derives from the master seed via `derive_rng`/`split_seed` |
-//! | `OCT-LINT-004` | `thread-identity` | no `thread::current()`/`ThreadId`/`available_parallelism` outside `TrialRunner`/`RunArgs` — results must not depend on which or how many threads ran |
-//! | `OCT-LINT-005` | `shard-unsafe-write` | no `.write()` on the shared adversary directory outside driver modules — shard threads may only read it |
+//! | `OCT-LINT-004` | `thread-identity` | no `thread::current()`/`ThreadId`/`available_parallelism` outside `TrialRunner`/`RunArgs`/pool sizing — results must not depend on which or how many threads ran |
+//! | `OCT-LINT-005` | `shard-unsafe-write` | no `.write()`/`.update()` on the sharded adversary directory outside driver modules — shard threads may only read their replica |
 //!
 //! Plus the meta-rule `OCT-LINT-000` (`suppression-audit`): a
 //! suppression that lacks a justification, names an unknown rule, or
@@ -86,13 +86,14 @@ pub const RULES: &[Rule] = &[
         code: "OCT-LINT-004",
         name: "thread-identity",
         summary: "no thread::current()/ThreadId/available_parallelism outside \
-                  TrialRunner/RunArgs: results must not depend on thread count or identity",
+                  TrialRunner/RunArgs/pool sizing: results must not depend on \
+                  thread count or identity",
     },
     Rule {
         code: "OCT-LINT-005",
         name: "shard-unsafe-write",
-        summary: "no .write() on the shared adversary directory outside driver \
-                  modules: shard threads may only read it",
+        summary: "no .write()/.update() on the sharded adversary directory outside \
+                  driver modules: shard threads may only read their replica",
     },
 ];
 
@@ -109,8 +110,14 @@ const ENGINE_SRC: &[&str] = &[
 /// `OCT-LINT-002` exemption: the bench harness times real wall-clock.
 const WALL_CLOCK_EXEMPT: &[&str] = &["crates/bench/"];
 
-/// `OCT-LINT-004` exemptions: the two sanctioned fan-out sizing sites.
-const THREAD_IDENTITY_EXEMPT: &[&str] = &["crates/core/src/trial.rs", "crates/bench/src/lib.rs"];
+/// `OCT-LINT-004` exemptions: the three sanctioned fan-out sizing
+/// sites (trial fan-out, CLI parsing, and the shard worker pool —
+/// whose width is a pure speed knob, never an input to results).
+const THREAD_IDENTITY_EXEMPT: &[&str] = &[
+    "crates/core/src/trial.rs",
+    "crates/bench/src/lib.rs",
+    "crates/net/src/pool.rs",
+];
 
 /// `OCT-LINT-005` exemptions: the single-threaded driver modules that
 /// legitimately take the adversary write lock between windows, and the
@@ -583,8 +590,10 @@ fn check_tokens(rel_path: &str, tokens: &[Tok]) -> Vec<Candidate> {
                     "`thread::current` leaks thread identity into engine state".to_string(),
                 );
             }
-            // OCT-LINT-005 — shard-unsafe shared mutation: `<...adversary...>.write(`
-            "write"
+            // OCT-LINT-005 — shard-unsafe shared mutation:
+            // `<...adversary...>.write(` or `.update(` (the sharded
+            // directory's all-replica merge is driver-only)
+            "write" | "update"
                 if engine
                     && !SHARD_WRITE_EXEMPT.contains(&rel_path)
                     && i > 0
@@ -597,18 +606,26 @@ fn check_tokens(rel_path: &str, tokens: &[Tok]) -> Vec<Candidate> {
                     .iter()
                     .rposition(|t| matches!(t.text.as_str(), ";" | "{" | "}"))
                     .map_or(from, |p| from + p + 1);
+                const ADVERSARY_IDENTS: &[&str] = &[
+                    "adversary",
+                    "SharedAdversary",
+                    "ShardedAdversary",
+                    "AdversaryHandle",
+                ];
                 if tokens[stmt_start..i]
                     .iter()
-                    .any(|t| t.ident && (t.text == "adversary" || t.text == "SharedAdversary"))
+                    .any(|t| t.ident && ADVERSARY_IDENTS.contains(&t.text.as_str()))
                 {
                     push(
                         t.line,
                         t.col,
                         "OCT-LINT-005",
-                        "`.write()` on the shared adversary directory outside a driver \
-                         module: shard threads may only read it; mutate between windows \
-                         from the driver"
-                            .to_string(),
+                        format!(
+                            "`.{}()` on the sharded adversary directory outside a driver \
+                             module: shard threads may only read their replica; mutate \
+                             between windows from the driver",
+                            t.text
+                        ),
                     );
                 }
             }

@@ -21,3 +21,15 @@ fn unrelated_io(w: &mut impl std::io::Write, buf: &[u8]) {
     // ordinary IO, not a contract violation
     let _ = w.write(buf);
 }
+
+fn merge_everywhere(adversary: &ShardedAdversary, id: u64) {
+    // the all-replica merge is the driver's move at the barrier, not a
+    // shard thread's
+    adversary.update(|a| a.enroll(id)); //~ OCT-LINT-005
+}
+
+fn unrelated_update(counter: &mut MovingAverage) {
+    // `.update()` without the adversary directory in the expression is
+    // an ordinary method call, not a contract violation
+    counter.update(1.0);
+}

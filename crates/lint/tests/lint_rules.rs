@@ -86,10 +86,11 @@ fn rule_004_thread_identity_fires_with_stable_code() {
         "bad_004_thread_identity.rs",
         "crates/metrics/src/bad_004.rs",
     );
-    // the sanctioned TrialRunner/RunArgs sizing sites are exempt
+    // the sanctioned TrialRunner/RunArgs/pool sizing sites are exempt
     let src = fixture("bad_004_thread_identity.rs");
     assert!(lint_source("crates/core/src/trial.rs", &src).is_clean());
     assert!(lint_source("crates/bench/src/lib.rs", &src).is_clean());
+    assert!(lint_source("crates/net/src/pool.rs", &src).is_clean());
 }
 
 #[test]

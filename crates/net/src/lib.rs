@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod latency;
+pub mod pool;
 pub mod shard;
 pub mod slab;
 pub mod wire;

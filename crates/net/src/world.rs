@@ -14,7 +14,8 @@
 //! dispatch), its own event queue, its own pooled [`Ctx`] scratch
 //! buffers, and its own slice of the bandwidth ledger — a shard shares
 //! *nothing* mutable with its siblings, which is what lets
-//! [`World::run_window`] execute shard batches on scoped threads.
+//! [`World::run_window`] execute shard batches on the persistent
+//! worker pool ([`crate::pool`]).
 //!
 //! Sharding never changes results. Every event carries a
 //! `(time, key)` ordering key whose tie-break packs
@@ -42,13 +43,14 @@
 //!   engine: pop the globally smallest `(time, key)` across all shard
 //!   queues, one event at a time.
 //! * [`World::run_window`] — windowed execution: open a lookahead
-//!   window, run *every* shard's in-window batch (on its own scoped
-//!   thread when [`World::set_parallel`] is on), then merge envelopes
-//!   and emitted control events by key at the barrier. Sequential and
-//!   parallel windows are byte-identical by construction — threads
-//!   change wall-clock time, never state.
+//!   window, run *every* shard's in-window batch (fanned across the
+//!   persistent worker pool when [`World::set_parallel`] is on), then
+//!   merge envelopes and emitted control events by key at the barrier.
+//!   Sequential and parallel windows are byte-identical by
+//!   construction — threads change wall-clock time, never state.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use octopus_id::NodeId;
 use octopus_sim::{
@@ -57,6 +59,7 @@ use octopus_sim::{
 use rand::rngs::StdRng;
 
 use crate::latency::LatencyModel;
+use crate::pool::{self, ShardPool};
 use crate::shard::{CrossShardBus, Envelope, ShardMap};
 use crate::slab::NodeSlab;
 use crate::wire::{BandwidthLedger, WireMsg};
@@ -222,16 +225,16 @@ impl<M, T, C> Default for BufferPool<M, T, C> {
 
 /// The read-only execution environment a shard batch runs against:
 /// everything a shard needs besides its own state, shareable across
-/// scoped threads.
-struct ShardCtx<'a, L> {
-    map: ShardMap,
-    latency: &'a L,
-    master_seed: u64,
+/// worker threads.
+pub(crate) struct ShardCtx<'a, L> {
+    pub(crate) map: ShardMap,
+    pub(crate) latency: &'a L,
+    pub(crate) master_seed: u64,
     /// The monotone lookahead bound every cross-shard send must respect
     /// (the park-assert obligation).
-    window_end: SimTime,
+    pub(crate) window_end: SimTime,
     /// Exclusive execution bound of the current window batch.
-    exec_end: SimTime,
+    pub(crate) exec_end: SimTime,
 }
 
 impl<L> Clone for ShardCtx<'_, L> {
@@ -247,7 +250,7 @@ impl<L> Copy for ShardCtx<'_, L> {}
 /// ledger slice, drop counters, outgoing envelope lanes and emitted
 /// controls. Nothing here is shared with other shards, so a window
 /// batch can run on its own thread.
-struct Shard<B: NodeBehavior> {
+pub(crate) struct Shard<B: NodeBehavior> {
     index: usize,
     nodes: NodeSlab<Hosted<B>>,
     queue: EventQueue<Event<B::Msg, B::Timer>>,
@@ -369,6 +372,16 @@ impl<B: NodeBehavior> Shard<B> {
         let Some((at, ev)) = self.queue.pop() else {
             return;
         };
+        self.exec_event(ctx, at, ev);
+    }
+
+    /// Execute one popped event against its hosted node.
+    fn exec_event<L: LatencyModel>(
+        &mut self,
+        ctx: &ShardCtx<'_, L>,
+        at: SimTime,
+        ev: Event<B::Msg, B::Timer>,
+    ) {
         self.last_exec = at;
         match ev {
             Event::Deliver { from, to, msg } => {
@@ -397,9 +410,9 @@ impl<B: NodeBehavior> Shard<B> {
     /// order — the per-shard body of one window. Timers landing inside
     /// the window are picked up; messages cannot land inside it (their
     /// latency floor carries them to `exec_end` or beyond).
-    fn run_batch<L: LatencyModel>(&mut self, ctx: &ShardCtx<'_, L>) {
-        while self.queue.peek_time().is_some_and(|t| t < ctx.exec_end) {
-            self.run_one(ctx);
+    pub(crate) fn run_batch<L: LatencyModel>(&mut self, ctx: &ShardCtx<'_, L>) {
+        while let Some((at, ev)) = self.queue.pop_before(ctx.exec_end) {
+            self.exec_event(ctx, at, ev);
         }
     }
 }
@@ -422,11 +435,24 @@ pub struct World<B: NodeBehavior, L: LatencyModel> {
     counter_floor: BTreeMap<Addr, u64>,
     /// Timestamp of the last event executed anywhere (monotone).
     now: SimTime,
-    latency: L,
+    /// The latency model, shared with the worker pool's threads.
+    latency: Arc<L>,
     master_seed: u64,
-    /// Whether [`World::run_window`] fans shard batches across scoped
-    /// threads. A pure speed knob: results are byte-identical.
+    /// Whether [`World::run_window`] fans shard batches across the
+    /// persistent worker pool. A pure speed knob: results are
+    /// byte-identical.
     parallel: bool,
+    /// Worker-thread override for the pool (`0` = auto sizing, see
+    /// [`pool::worker_count`]).
+    worker_threads: usize,
+    /// Resolved pool width for the current `worker_threads` setting
+    /// (`0` = not yet resolved; resolved lazily so the env knob is read
+    /// once, not per window).
+    pool_workers: usize,
+    /// The persistent shard worker pool, spawned on the first parallel
+    /// window that has more than one effective worker and reused for
+    /// every window after it.
+    pool: Option<ShardPool<B, L>>,
 }
 
 impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
@@ -485,18 +511,35 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
             driver_seq: 0,
             counter_floor: BTreeMap::new(),
             now: SimTime::ZERO,
-            latency,
+            latency: Arc::new(latency),
             master_seed,
             parallel: false,
+            worker_threads: 0,
+            pool_workers: 0,
+            pool: None,
         }
     }
 
     /// Turn parallel window execution on or off (default off). Only
-    /// [`World::run_window`] looks at this; with it on, each shard's
-    /// in-window batch runs on its own scoped thread between barriers.
+    /// [`World::run_window`] looks at this; with it on, shard batches
+    /// are fanned across the persistent worker pool between barriers.
     /// Results are byte-identical either way.
     pub fn set_parallel(&mut self, parallel: bool) {
         self.parallel = parallel;
+    }
+
+    /// Pin the parallel worker-pool width (`0` restores auto sizing:
+    /// `OCTOPUS_POOL_THREADS` if set, else the machine's available
+    /// parallelism, capped at the shard count either way). Takes effect
+    /// at the next parallel window; an existing pool of a different
+    /// width is torn down and respawned. Like [`World::set_parallel`],
+    /// a pure speed knob — results are byte-identical at every width.
+    pub fn set_worker_threads(&mut self, threads: usize) {
+        if self.worker_threads != threads {
+            self.worker_threads = threads;
+            self.pool_workers = 0;
+            self.pool = None;
+        }
     }
 
     /// Whether windowed execution fans out across threads.
@@ -662,7 +705,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         let now = self.now;
         let ctx = ShardCtx {
             map: self.map,
-            latency: &self.latency,
+            latency: &*self.latency,
             master_seed: self.master_seed,
             window_end: self.window.end(),
             exec_end: now,
@@ -787,7 +830,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
                 StepSource::Shard(idx) => {
                     let ctx = ShardCtx {
                         map: self.map,
-                        latency: &self.latency,
+                        latency: &*self.latency,
                         master_seed: self.master_seed,
                         window_end: self.window.end(),
                         exec_end: self.now,
@@ -835,11 +878,11 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     ///    stepping.
     /// 2. Otherwise open the lookahead window from the earliest pending
     ///    time, cap it at the next scheduled control and the deadline,
-    ///    and run **every shard's in-window batch** — on scoped threads
-    ///    when [`World::set_parallel`] is on, inline otherwise. Shards
-    ///    share nothing during the batch; the barrier then parks their
-    ///    outgoing envelopes, merges their emitted controls by key, and
-    ///    advances the clock.
+    ///    and run **every shard's in-window batch** — fanned across the
+    ///    persistent worker pool when [`World::set_parallel`] is on,
+    ///    inline otherwise. Shards share nothing during the batch; the
+    ///    barrier then parks their outgoing envelopes, merges their
+    ///    emitted controls by key, and advances the clock.
     /// 3. With zero lookahead (or a control due at the window start)
     ///    the window degenerates to one sequential event — always
     ///    correct, never fast.
@@ -850,11 +893,11 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     /// the results.
     pub fn run_window(&mut self, deadline: SimTime) -> Option<Vec<(SimTime, B::Control)>>
     where
-        B: Send,
-        B::Msg: Send,
-        B::Timer: Send,
-        B::Control: Send,
-        L: Sync,
+        B: Send + 'static,
+        B::Msg: Send + 'static,
+        B::Timer: Send + 'static,
+        B::Control: Send + 'static,
+        L: Send + Sync + 'static,
     {
         // Barrier: every in-flight cross-shard message becomes visible
         // before the window's extent is decided.
@@ -887,7 +930,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
         exec_end = exec_end.min(SimTime(deadline.0.saturating_add(1)));
         let ctx = ShardCtx {
             map: self.map,
-            latency: &self.latency,
+            latency: &*self.latency,
             master_seed: self.master_seed,
             window_end,
             exec_end,
@@ -898,11 +941,28 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
             // engine. Slower, never wrong.
             self.shards[head_idx].run_one(&ctx);
         } else if self.parallel && self.shards.len() > 1 {
-            std::thread::scope(|scope| {
+            if self.pool_workers == 0 {
+                self.pool_workers = pool::worker_count(self.worker_threads, self.shards.len());
+            }
+            if self.pool_workers <= 1 {
+                // One effective worker: the pool would only add barrier
+                // crossings. Run the batches inline.
                 for shard in &mut self.shards {
-                    scope.spawn(move || shard.run_batch(&ctx));
+                    shard.run_batch(&ctx);
                 }
-            });
+            } else {
+                if self.pool.is_none() {
+                    self.pool = Some(ShardPool::new(
+                        self.shards.len(),
+                        self.pool_workers,
+                        self.map,
+                        self.master_seed,
+                        Arc::clone(&self.latency),
+                    ));
+                }
+                let pool = self.pool.as_ref().expect("pool just ensured");
+                pool.run_window(&mut self.shards, window_end, exec_end);
+            }
         } else {
             for shard in &mut self.shards {
                 shard.run_batch(&ctx);
@@ -1191,7 +1251,7 @@ mod tests {
     }
 
     /// The same workload driven through the windowed executor.
-    fn gossip_trace_windowed<L: LatencyModel + Sync>(
+    fn gossip_trace_windowed<L: LatencyModel + Send + Sync + 'static>(
         shards: usize,
         parallel: bool,
         latency: L,

@@ -136,6 +136,20 @@ impl<E> EventQueue<E> {
         Some((t, e))
     }
 
+    /// Pop the earliest event only when it is due strictly before
+    /// `bound`, advancing the clock to its timestamp; `None` leaves the
+    /// queue untouched. One backend call instead of the peek/pop pair a
+    /// windowed engine would otherwise issue per in-window event.
+    pub fn pop_before(&mut self, bound: SimTime) -> Option<(SimTime, E)> {
+        let (t, e) = match &mut self.backend {
+            Backend::Heap(s) => s.pop_next_before(bound),
+            Backend::Wheel(s) => s.pop_next_before(bound),
+            Backend::Custom(s) => s.pop_next_before(bound),
+        }?;
+        self.now = t;
+        Some((t, e))
+    }
+
     /// Schedule `event` at `at` under a caller-supplied tie-break key.
     ///
     /// This is the composition hook for multi-queue engines: a sharded
@@ -337,6 +351,26 @@ mod tests {
             // the internal counter moved past the largest supplied seq
             q.push(t, "next");
             assert_eq!(q.peek_key(), Some((t, 8)));
+        }
+    }
+
+    #[test]
+    fn pop_before_honours_the_bound() {
+        for kind in all_kinds() {
+            let mut q = EventQueue::with_scheduler(kind);
+            q.push(SimTime::from_millis(3), "a");
+            q.push(SimTime::from_millis(9), "b");
+            // strict bound: an event exactly at the bound stays queued
+            assert_eq!(q.pop_before(SimTime::from_millis(3)), None);
+            assert_eq!(
+                q.pop_before(SimTime::from_millis(4)),
+                Some((SimTime::from_millis(3), "a"))
+            );
+            assert_eq!(q.now(), SimTime::from_millis(3));
+            assert_eq!(q.pop_before(SimTime::from_millis(9)), None);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop_before(SimTime(u64::MAX)).unwrap().1, "b");
+            assert_eq!(q.pop_before(SimTime(u64::MAX)), None);
         }
     }
 

@@ -59,6 +59,21 @@ pub trait Scheduler<E> {
     /// pick the globally earliest event across several backends.
     fn peek_key(&self) -> Option<(SimTime, u128)>;
 
+    /// Pop the earliest event only when it is due strictly before
+    /// `bound`; otherwise leave the store untouched and return `None`.
+    ///
+    /// This is the batch-execution hook: a windowed engine drains a
+    /// shard's in-window events with one backend call per event instead
+    /// of a peek/pop pair. The default implementation is exactly that
+    /// pair; backends may override it when they can answer cheaper.
+    fn pop_next_before(&mut self, bound: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time().is_some_and(|t| t < bound) {
+            self.pop_next()
+        } else {
+            None
+        }
+    }
+
     /// Number of stored events.
     fn len(&self) -> usize;
 
@@ -240,9 +255,18 @@ pub struct TimingWheel<E> {
     cursor: u64,
     /// Events due next, sorted *descending* by `(time, seq)` and served
     /// from the tail, so a drained slot can be sorted in place and
-    /// swapped in without copying. Non-empty whenever `len > 0`
-    /// (maintained eagerly so `peek_time` is `O(1)`).
+    /// swapped in without copying. Non-empty whenever `len > 0` and
+    /// `staged` is empty (maintained eagerly so `peek_time` is `O(1)`).
     ready: Vec<Entry<E>>,
+    /// Entries scheduled at or behind the cursor tick (timers re-armed
+    /// behind the eagerly-advanced cursor, and cross-shard bus-flush
+    /// batches). A second min-heap beside `ready`: a bus flush can dump
+    /// tens of thousands of same-tick entries here in one burst, and a
+    /// heap absorbs any burst shape in `O(log n)` per entry where a
+    /// sorted run degrades to a quadratic memmove. `pop_next` serves
+    /// from whichever of `ready`'s tail and this heap's top holds the
+    /// smaller key — no merge, ever.
+    staged: BinaryHeap<Entry<E>>,
     /// Events beyond the wheel horizon (min-heap via inverted `Ord`).
     overflow: BinaryHeap<Entry<E>>,
     len: usize,
@@ -262,6 +286,7 @@ impl<E> TimingWheel<E> {
             levels: (0..LEVELS).map(|_| Level::new()).collect(),
             cursor: 0,
             ready: Vec::new(),
+            staged: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             len: 0,
         }
@@ -277,13 +302,12 @@ impl<E> TimingWheel<E> {
     fn place(&mut self, entry: Entry<E>) {
         let tick = Self::tick_of(entry.time);
         if tick <= self.cursor {
-            // Already inside the drained region: merge into the
-            // descending ready run at the position its (time, seq) key
-            // demands. An event due soon sits near the tail, so the
-            // shift is short in the common case.
-            let key = entry.key();
-            let pos = self.ready.partition_point(|e| e.key() > key);
-            self.ready.insert(pos, entry);
+            // Already inside the drained region — a timer re-armed just
+            // behind the eagerly-advanced cursor, or a cross-shard
+            // bus-flush batch. Inserting into `ready` directly would
+            // memmove `O(ready)` per entry (quadratic per flush batch);
+            // the staged heap takes any burst at `O(log n)` per entry.
+            self.staged.push(entry);
             return;
         }
         let delta = tick - self.cursor;
@@ -327,10 +351,10 @@ impl<E> TimingWheel<E> {
     }
 
     /// Advance the cursor to the earliest pending tick and drain
-    /// everything due there into `ready` (no-op when already non-empty
-    /// or drained).
+    /// everything due there into `ready` (no-op when already non-empty,
+    /// drained, or holding a staged batch that pops first anyway).
     fn ensure_ready(&mut self) {
-        while self.ready.is_empty() && self.len > 0 {
+        while self.ready.is_empty() && self.staged.is_empty() && self.len > 0 {
             let mut best_tick = u64::MAX;
             for level in 0..LEVELS {
                 if let Some(t) = self.next_occupied_tick(level) {
@@ -417,18 +441,32 @@ impl<E> Scheduler<E> for TimingWheel<E> {
     }
 
     fn pop_next(&mut self) -> Option<(SimTime, E)> {
-        let e = self.ready.pop()?;
+        // Serve from whichever of ready's tail (its minimum) and the
+        // staged heap's top holds the smaller key.
+        let from_staged = match (self.ready.last(), self.staged.peek()) {
+            (Some(r), Some(s)) => s.key() < r.key(),
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        let e = if from_staged {
+            self.staged.pop()
+        } else {
+            self.ready.pop()
+        }?;
         self.len -= 1;
         self.ensure_ready();
         Some((e.time, e.event))
     }
 
     fn peek_time(&self) -> Option<SimTime> {
-        self.ready.last().map(|e| e.time)
+        self.peek_key().map(|(t, _)| t)
     }
 
     fn peek_key(&self) -> Option<(SimTime, u128)> {
-        self.ready.last().map(Entry::key)
+        match (self.ready.last(), self.staged.peek()) {
+            (Some(r), Some(s)) => Some(r.key().min(s.key())),
+            (r, s) => r.or(s).map(Entry::key),
+        }
     }
 
     fn len(&self) -> usize {
@@ -445,6 +483,7 @@ impl<E> Scheduler<E> for TimingWheel<E> {
             }
         }
         self.ready.clear();
+        self.staged.clear();
         self.overflow.clear();
         self.len = 0;
     }
@@ -532,6 +571,27 @@ mod tests {
         assert_eq!(w.pop_next().map(|(_, e)| e), Some(2));
         assert_eq!(w.pop_next().map(|(_, e)| e), Some(3));
         assert_eq!(w.pop_next().map(|(_, e)| e), Some(100));
+    }
+
+    #[test]
+    fn wheel_staged_batch_keeps_exact_order() {
+        // a bus-flush-shaped batch: many entries land behind the cursor
+        // at once, interleaved with entries already in the ready run —
+        // the staged path must preserve exact (time, seq) order and
+        // O(1) peeks must see the staged minimum immediately
+        let mut w = TimingWheel::new();
+        w.schedule(SimTime::from_secs(30), 1000, 9999);
+        // cursor has advanced to t=30s; deliver a shuffled batch behind it
+        for (i, &t_ms) in [700u64, 100, 500, 300, 900, 200].iter().enumerate() {
+            w.schedule(SimTime::from_millis(t_ms), i as u128, t_ms);
+            assert_eq!(
+                w.peek_time(),
+                Some(SimTime::from_millis([700, 100, 100, 100, 100, 100][i])),
+            );
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| w.pop_next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![100, 200, 300, 500, 700, 900, 9999]);
+        assert!(w.is_empty());
     }
 
     #[test]
