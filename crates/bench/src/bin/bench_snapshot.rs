@@ -44,6 +44,7 @@ struct Cell {
     n: usize,
     shards: usize,
     mode: Mode,
+    best_ns: u64,
     events_per_sec: u64,
 }
 
@@ -144,6 +145,7 @@ fn main() {
                 n,
                 shards,
                 mode,
+                best_ns,
                 events_per_sec,
             });
         }
@@ -169,7 +171,11 @@ fn main() {
     }
 
     if let Some(min_shards) = snap.assert_par_wins {
-        let mut failed = false;
+        // Both sides of every comparison print their raw best-of-round
+        // timing next to the derived rate, win or lose — a regression
+        // report that only names the loser's events/sec leaves the
+        // reader re-deriving the actual measurements from the JSON.
+        let mut failures: Vec<String> = Vec::new();
         for &n in populations {
             let step1 = cells
                 .iter()
@@ -180,18 +186,30 @@ fn main() {
                 .filter(|c| c.n == n && c.mode == Mode::Par && c.shards >= min_shards)
             {
                 let ok = c.events_per_sec >= step1.events_per_sec;
-                eprintln!(
-                    "bench_snapshot: n={n} par@{} {} step@1 ({} vs {} events/s)",
+                let line = format!(
+                    "n={n} par@{}: {} events/s ({:.2} ms) {} step@1: {} events/s ({:.2} ms)",
                     c.shards,
-                    if ok { "beats" } else { "LOSES TO" },
                     c.events_per_sec,
-                    step1.events_per_sec
+                    c.best_ns as f64 / 1e6,
+                    if ok { "beats" } else { "LOSES TO" },
+                    step1.events_per_sec,
+                    step1.best_ns as f64 / 1e6
                 );
-                failed |= !ok;
+                eprintln!("bench_snapshot: {line}");
+                if !ok {
+                    failures.push(line);
+                }
             }
         }
-        if failed {
-            eprintln!("bench_snapshot: parallel windows regressed below the sequential engine");
+        if !failures.is_empty() {
+            eprintln!(
+                "bench_snapshot: parallel windows regressed below the sequential engine \
+                 at {} grid cell(s), best of {SAMPLES} rounds each:",
+                failures.len()
+            );
+            for line in &failures {
+                eprintln!("bench_snapshot:   {line}");
+            }
             std::process::exit(1);
         }
     }

@@ -18,10 +18,13 @@ use octopus_chord::{stabilize, SignedSuccessorList};
 use octopus_crypto::{CertificateAuthority, PublicKey};
 use octopus_id::NodeId;
 use octopus_net::{Addr, Ctx, NodeBehavior};
+use octopus_spec::ReportKind;
 
 use crate::config::OctopusConfig;
 use crate::messages::{receipt_bytes, Msg, ReceiptToken, Report, Timer};
+use crate::mutation::{self, Mutation};
 use crate::simnet::{Control, ReportCat, Verdict};
+use crate::trace::TraceEvent;
 
 type CaCtx<'a> = Ctx<'a, Msg, Timer, Control>;
 
@@ -125,6 +128,19 @@ impl CaNode {
         self.authority.issue(id, (id.0 >> 32) as u32, key, u64::MAX)
     }
 
+    /// Issue a certificate for `id` with an explicit expiry. Harness
+    /// hook: lets the fuzz oracle craft genuinely stale certificates
+    /// signed by the real authority.
+    pub fn issue_cert_expiring(
+        &mut self,
+        id: NodeId,
+        key: PublicKey,
+        expires_at: u64,
+    ) -> octopus_crypto::Certificate {
+        self.authority
+            .issue(id, (id.0 >> 32) as u32, key, expires_at)
+    }
+
     /// The CA's verification key, known to all nodes.
     #[must_use]
     pub fn public_key(&self) -> PublicKey {
@@ -224,6 +240,39 @@ impl CaNode {
         });
     }
 
+    /// Emit a semantic trace event when the oracle is recording.
+    /// Unlike the node-side helper there is no malicious-node filter:
+    /// the CA is always honest.
+    fn trace(&self, ctx: &mut CaCtx<'_>, ev: impl FnOnce() -> TraceEvent) {
+        if self.cfg.trace {
+            ctx.emit(Control::Trace(Box::new(ev())));
+        }
+    }
+
+    /// Emit a [`TraceEvent::CaReceiptCheck`] for one receipt
+    /// verification. The validity bits are recomputed directly from the
+    /// token so a broken `verify_receipt` cannot hide behind its own
+    /// answer.
+    fn trace_receipt_check(
+        &self,
+        ctx: &mut CaCtx<'_>,
+        token: &ReceiptToken,
+        expected_signer: NodeId,
+        flow: u64,
+        accepted: bool,
+    ) {
+        self.trace(ctx, || TraceEvent::CaReceiptCheck {
+            signer: token.signer,
+            expected_signer,
+            flow_ok: token.flow == flow,
+            sig_ok: self
+                .pubkeys
+                .get(&token.signer)
+                .is_some_and(|k| k.verify(&receipt_bytes(token.flow), token.sig).is_ok()),
+            accepted,
+        });
+    }
+
     // ------------------------------------------------------------------
     // Report intake.
     // ------------------------------------------------------------------
@@ -242,14 +291,29 @@ impl CaNode {
                 } else {
                     ReportCat::FingerUpdate
                 };
-                // validate the report itself
-                if reporter_cert.node_id != reporter
-                    || reporter_cert
+                // validate the report itself; each gate input is
+                // computed on its own so the trace oracle can compare
+                // the bits against the accept decision
+                let cert_ok = reporter_cert.node_id == reporter
+                    && reporter_cert
                         .verify(self.authority.public_key(), now)
-                        .is_err()
-                    || self.authority.is_revoked(reporter)
-                    || !self.verify_signed_list(&accused_list, now)
-                {
+                        .is_ok();
+                let reporter_revoked = self.authority.is_revoked(reporter);
+                let evidence_ok = self.verify_signed_list(&accused_list, now);
+                let accepted = if mutation::is(Mutation::SkipReportCertCheck) {
+                    !reporter_revoked && evidence_ok // injected bug
+                } else {
+                    cert_ok && !reporter_revoked && evidence_ok
+                };
+                self.trace(ctx, || TraceEvent::ReportIntake {
+                    kind: ReportKind::ListOmission,
+                    reporter,
+                    cert_ok,
+                    reporter_revoked,
+                    evidence_ok,
+                    accepted,
+                });
+                if !accepted {
                     return; // malformed report: ignore silently
                 }
                 // the omitted node must be live and stable — otherwise
@@ -282,14 +346,29 @@ impl CaNode {
                 pred_succ_list,
             } => {
                 let category = ReportCat::FingerSurveillance;
-                if reporter_cert.node_id != reporter
-                    || reporter_cert
+                let cert_ok = reporter_cert.node_id == reporter
+                    && reporter_cert
                         .verify(self.authority.public_key(), now)
-                        .is_err()
-                    || !self.verify_signed_list(&table, now)
-                    || !self.verify_signed_list(&finger_pred_list, now)
-                    || !self.verify_signed_list(&pred_succ_list, now)
-                {
+                        .is_ok();
+                let evidence_ok = self.verify_signed_list(&table, now)
+                    && self.verify_signed_list(&finger_pred_list, now)
+                    && self.verify_signed_list(&pred_succ_list, now);
+                let accepted = if mutation::is(Mutation::SkipReportCertCheck) {
+                    evidence_ok // injected bug
+                } else {
+                    cert_ok && evidence_ok
+                };
+                self.trace(ctx, || TraceEvent::ReportIntake {
+                    kind: ReportKind::FingerManipulation,
+                    reporter,
+                    cert_ok,
+                    // intake deliberately does not gate on this — the
+                    // bit is recorded so the model can check the policy
+                    reporter_revoked: self.authority.is_revoked(reporter),
+                    evidence_ok,
+                    accepted,
+                });
+                if !accepted {
                     return;
                 }
                 let y = table.owner();
@@ -365,12 +444,25 @@ impl CaNode {
                 initiator_receipt,
             } => {
                 let category = ReportCat::SelectiveDos;
-                if reporter_cert.node_id != reporter
-                    || reporter_cert
+                let cert_ok = reporter_cert.node_id == reporter
+                    && reporter_cert
                         .verify(self.authority.public_key(), now)
-                        .is_err()
-                    || relays.is_empty()
-                {
+                        .is_ok();
+                let evidence_ok = !relays.is_empty();
+                let accepted = if mutation::is(Mutation::SkipReportCertCheck) {
+                    evidence_ok // injected bug
+                } else {
+                    cert_ok && evidence_ok
+                };
+                self.trace(ctx, || TraceEvent::ReportIntake {
+                    kind: ReportKind::Dropper,
+                    reporter,
+                    cert_ok,
+                    reporter_revoked: self.authority.is_revoked(reporter),
+                    evidence_ok,
+                    accepted,
+                });
+                if !accepted {
                     return;
                 }
                 // the flow must provably have entered the path
@@ -378,7 +470,9 @@ impl CaNode {
                     self.dismiss(ctx, category);
                     return;
                 };
-                if !self.verify_receipt(&token, relays[0], flow) {
+                let receipt_ok = self.verify_receipt(&token, relays[0], flow);
+                self.trace_receipt_check(ctx, &token, relays[0], flow, receipt_ok);
+                if !receipt_ok {
                     self.dismiss(ctx, category);
                     return;
                 }
@@ -400,6 +494,9 @@ impl CaNode {
     }
 
     fn verify_receipt(&self, token: &ReceiptToken, expected_signer: NodeId, flow: u64) -> bool {
+        if mutation::is(Mutation::AcceptAnyReceipt) {
+            return true; // injected bug: receipts rubber-stamped
+        }
         if token.signer != expected_signer || token.flow != flow {
             return false;
         }
@@ -651,7 +748,14 @@ impl CaNode {
             // target liveness.)
             stable(target)
         } else {
-            receipt.is_some_and(|t| self.verify_receipt(&t, relays[idx + 1], flow))
+            match receipt {
+                Some(t) => {
+                    let ok = self.verify_receipt(&t, relays[idx + 1], flow);
+                    self.trace_receipt_check(ctx, &t, relays[idx + 1], flow, ok);
+                    ok
+                }
+                None => false,
+            }
         };
         if is_exit {
             if valid && stable(relays[idx]) {

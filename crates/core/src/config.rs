@@ -33,6 +33,10 @@ pub struct OctopusConfig {
     pub request_timeout: Duration,
     /// Maximum proof-chain length the CA walks before giving up.
     pub max_proof_chain: usize,
+    /// Emit semantic [`crate::trace::TraceEvent`]s for the reference
+    /// model (`octopus-spec`). Off by default: tracing is a test-only
+    /// observation channel and costs one control per protocol decision.
+    pub trace: bool,
 }
 
 impl Default for OctopusConfig {
@@ -59,6 +63,7 @@ impl Default for OctopusConfig {
             // a false Dropper report would send the CA after honest relays
             request_timeout: Duration::from_secs(10),
             max_proof_chain: 8,
+            trace: false,
         }
     }
 }

@@ -39,9 +39,12 @@ pub mod ca;
 pub mod config;
 pub mod lookup;
 pub mod messages;
+pub mod mutation;
 pub mod node;
 pub mod simnet;
+pub mod spec_adapter;
 pub mod surveillance;
+pub mod trace;
 pub mod trial;
 pub mod walk;
 
@@ -51,5 +54,6 @@ pub use config::OctopusConfig;
 pub use messages::{Msg, OnionPacket, Timer};
 pub use node::OctopusNode;
 pub use octopus_sim::SchedulerKind;
-pub use simnet::{Actor, Control, SecuritySim, SimConfig, SimReport};
+pub use simnet::{Actor, Control, RunAccum, SecuritySim, SimConfig, SimReport};
+pub use trace::TraceEvent;
 pub use trial::{trial_configs, TrialRunner};

@@ -14,8 +14,10 @@ use octopus_sim::SimTime;
 use rand::seq::SliceRandom;
 
 use crate::messages::Report;
+use crate::mutation::{self, Mutation};
 use crate::node::{AnonPurpose, NodeCtx, OctopusNode};
 use crate::simnet::Control;
+use crate::trace::TraceEvent;
 
 /// Hop cap for one lookup (honest lookups take Θ(log N)).
 const MAX_LOOKUP_HOPS: usize = 32;
@@ -143,6 +145,11 @@ impl OctopusNode {
         if let Some(st) = self.lookups.get_mut(&id) {
             st.awaiting = target;
         }
+        self.trace(ctx, || TraceEvent::LookupQuery {
+            node: self.id,
+            lookup: id,
+            target,
+        });
         self.send_anonymous_query(
             ctx,
             &relays,
@@ -162,12 +169,34 @@ impl OctopusNode {
         table: SignedRoutingTable,
     ) {
         let now = ctx.now().as_secs_f64() as u64;
-        let Some(st) = self.lookups.get_mut(&id) else {
+        let Some(st) = self.lookups.get(&id) else {
             return;
         };
-        if table.owner() != st.awaiting || table.verify(self.ca_key, now).is_err() {
+        let awaiting = st.awaiting;
+        let owner = table.owner();
+        // recompute both gate inputs independently of the accept
+        // decision so the oracle can observe a broken decision path
+        // (the verify call is pure — no RNG — so evaluating it
+        // unconditionally never shifts a seeded stream)
+        let owner_match = owner == awaiting;
+        let sig_ok = table.verify(self.ca_key, now).is_ok();
+        let accepted = if mutation::is(Mutation::AcceptStaleTables) {
+            owner_match // injected bug: certificate check skipped
+        } else {
+            owner_match && sig_ok
+        };
+        self.trace(ctx, || TraceEvent::TableChecked {
+            node: self.id,
+            lookup: id,
+            owner,
+            awaiting,
+            sig_ok,
+            accepted,
+        });
+        if !accepted {
             return; // wrong or forged responder; the timeout will retry
         }
+        let st = self.lookups.get_mut(&id).expect("state checked above");
         st.hops += 1;
         st.retries = MAX_RETRIES;
         st.queried.push(table.owner());

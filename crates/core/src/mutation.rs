@@ -1,0 +1,90 @@
+//! Deliberate, feature-gated engine bugs for the mutation-kill check.
+//!
+//! The reference model (`octopus-spec`) is only worth trusting if it
+//! demonstrably catches real engine regressions. This module injects
+//! known bugs at the exact decision sites the model oracles: each
+//! [`Mutation`] disables one verification step or corrupts one
+//! forwarding decision. The `mutation_kill` integration test activates
+//! them one at a time and asserts the differential harness reports at
+//! least one divergence for every single one — and none when no
+//! mutation is active.
+//!
+//! Without the `spec-mutations` feature, [`is`] is a constant `false`
+//! the optimizer erases; production builds carry no switchable bugs.
+//! With the feature, the active mutation is a process-global atomic —
+//! which is why the kill test runs its probes serially in one `#[test]`.
+
+/// One injectable engine bug. Each variant names the verification it
+/// breaks; the doc comment states the observable effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Relays forward onion hops without acknowledging them with a
+    /// receipt — the receipt chain silently stops being extended.
+    ForwardWithoutReceipt = 0,
+    /// Relays send the peeled onion back to the previous hop instead of
+    /// the route's next hop.
+    MisrouteOnion = 1,
+    /// Receipt verification accepts any token: nodes clear a receipt
+    /// wait on any signer, and the CA's signature check always passes.
+    AcceptAnyReceipt = 2,
+    /// Lookup-table acceptance skips certificate verification, so
+    /// stale (expired/revoked) and forged tables pass.
+    AcceptStaleTables = 3,
+    /// The CA's report intake skips the reporter-certificate check.
+    SkipReportCertCheck = 4,
+    /// Nodes ignore revocation notices entirely: no purge, no local
+    /// revoked-set tracking.
+    SkipRevocationPurge = 5,
+}
+
+/// Every mutation, for exhaustive kill loops.
+pub const ALL: &[Mutation] = &[
+    Mutation::ForwardWithoutReceipt,
+    Mutation::MisrouteOnion,
+    Mutation::AcceptAnyReceipt,
+    Mutation::AcceptStaleTables,
+    Mutation::SkipReportCertCheck,
+    Mutation::SkipRevocationPurge,
+];
+
+#[cfg(feature = "spec-mutations")]
+mod active {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// 0 = no mutation; otherwise `Mutation as u8 + 1`.
+    static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+    pub(super) fn set(v: u8) {
+        ACTIVE.store(v, Ordering::SeqCst);
+    }
+
+    pub(super) fn get() -> u8 {
+        ACTIVE.load(Ordering::SeqCst)
+    }
+}
+
+/// Activate one mutation (or none) process-wide. Only exists with the
+/// `spec-mutations` feature; the kill test is its only intended caller.
+#[cfg(feature = "spec-mutations")]
+pub fn set_mutation(m: Option<Mutation>) {
+    active::set(match m {
+        None => 0,
+        Some(x) => x as u8 + 1,
+    });
+}
+
+/// Is `m` the active mutation? Call sites use this unconditionally;
+/// without the `spec-mutations` feature it is a constant `false`.
+#[inline]
+#[must_use]
+pub fn is(m: Mutation) -> bool {
+    #[cfg(feature = "spec-mutations")]
+    {
+        active::get() == m as u8 + 1
+    }
+    #[cfg(not(feature = "spec-mutations"))]
+    {
+        let _ = m;
+        false
+    }
+}

@@ -27,8 +27,10 @@ use crate::lookup::LookupState;
 use crate::messages::{
     receipt_bytes, ExitAction, Hop, Msg, OnionPacket, ReceiptToken, Report, Timer,
 };
+use crate::mutation::{self, Mutation};
 use crate::simnet::Control;
 use crate::surveillance::FingerCheck;
+use crate::trace::TraceEvent;
 use crate::walk::{DelegatedWalk, WalkState};
 
 /// Handler context alias used throughout the node implementation.
@@ -233,6 +235,46 @@ impl OctopusNode {
     #[must_use]
     pub fn is_malicious(&self) -> bool {
         self.adversary.is_some()
+    }
+
+    /// Emit a semantic trace event for the reference-model oracle.
+    ///
+    /// Only honest nodes trace — malicious deviation is the adversary's
+    /// business, not a contract violation — and only when
+    /// [`OctopusConfig::trace`] is on. The closure defers construction
+    /// so the disabled path costs one branch. Emission consumes no RNG
+    /// and sends no wire messages: tracing can never shift a seeded
+    /// stream or a report.
+    pub(crate) fn trace(&self, ctx: &mut NodeCtx<'_>, ev: impl FnOnce() -> TraceEvent) {
+        if self.cfg.trace && !self.is_malicious() {
+            ctx.emit(Control::Trace(Box::new(ev())));
+        }
+    }
+
+    /// Flows this node currently awaits a forwarding receipt on, with
+    /// the expected signer (fuzz-harness observation hook).
+    #[must_use]
+    pub fn awaiting_receipt_flows(&self) -> Vec<(u64, NodeId)> {
+        self.awaiting_receipt
+            .iter()
+            .map(|(&flow, &next)| (flow, next))
+            .collect()
+    }
+
+    /// Outstanding non-dummy lookup queries as `(flow, awaited table
+    /// owner)` pairs (fuzz-harness observation hook).
+    #[must_use]
+    pub fn pending_lookup_queries(&self) -> Vec<(u64, NodeId)> {
+        self.anon_pending
+            .iter()
+            .filter_map(|(&flow, (purpose, _))| match purpose {
+                AnonPurpose::LookupQuery {
+                    lookup,
+                    dummy: false,
+                } => self.lookups.get(lookup).map(|st| (flow, st.awaiting)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Current successor list (tests/driver).
@@ -486,6 +528,11 @@ impl OctopusNode {
         };
         self.anon_pending.insert(flow, (purpose, relays.to_vec()));
         self.awaiting_receipt.insert(flow, first);
+        self.trace(ctx, || TraceEvent::AnonSent {
+            node: self.id,
+            flow,
+            first,
+        });
         ctx.send(first, Msg::Onion(packet));
         ctx.set_timer(
             self.cfg.request_timeout,
@@ -610,6 +657,9 @@ impl OctopusNode {
 
     /// Handle a revocation notice from the CA.
     pub(crate) fn on_revocation(&mut self, revoked: &[NodeId]) {
+        if mutation::is(Mutation::SkipRevocationPurge) {
+            return; // injected bug: the notice is silently ignored
+        }
         for &r in revoked {
             self.revoked.insert(r);
             stabilize::drop_head(&mut self.successors, r);
@@ -826,11 +876,23 @@ impl NodeBehavior for OctopusNode {
             Msg::Onion(packet) => self.on_onion(ctx, from, packet),
             Msg::OnionReply { flow, payload } => self.on_onion_reply(ctx, from, flow, *payload),
             Msg::Receipt { token } => {
-                if let Some(expected) = self.awaiting_receipt.get(&token.flow) {
-                    if *expected == token.signer && token.signer == from {
-                        self.awaiting_receipt.remove(&token.flow);
-                        self.receipts.insert(token.flow, token);
-                    }
+                let expected = self.awaiting_receipt.get(&token.flow).copied();
+                let strict = expected == Some(token.signer) && token.signer == from;
+                let accepted = if mutation::is(Mutation::AcceptAnyReceipt) {
+                    expected.is_some()
+                } else {
+                    strict
+                };
+                self.trace(ctx, || TraceEvent::ReceiptChecked {
+                    node: self.id,
+                    from,
+                    flow: token.flow,
+                    signer: token.signer,
+                    accepted,
+                });
+                if accepted {
+                    self.awaiting_receipt.remove(&token.flow);
+                    self.receipts.insert(token.flow, token);
                 }
             }
             Msg::WalkResult { .. } => { /* only valid inside OnionReply */ }
@@ -872,7 +934,14 @@ impl NodeBehavior for OctopusNode {
                     },
                 );
             }
-            Msg::Revocation { revoked } => self.on_revocation(&revoked),
+            Msg::Revocation { revoked } => {
+                self.on_revocation(&revoked);
+                self.trace(ctx, || TraceEvent::RevocationSeen {
+                    node: self.id,
+                    revoked: revoked.clone(),
+                    tracked: revoked.iter().all(|r| self.revoked.contains(r)),
+                });
+            }
 
             // messages only the CA consumes
             Msg::Report(_)
@@ -909,7 +978,12 @@ impl NodeBehavior for OctopusNode {
                 // the next hop died mid-flight; the end-to-end timeout
                 // (and the CA's receipt walk) handles droppers, who ack
                 // before dropping to avoid immediate local blame
-                self.awaiting_receipt.remove(&flow);
+                if self.awaiting_receipt.remove(&flow).is_some() {
+                    self.trace(ctx, || TraceEvent::ReceiptExpired {
+                        node: self.id,
+                        flow,
+                    });
+                }
             }
             Timer::CaCaseTimeout { .. } => { /* CA-only timer */ }
         }
@@ -926,21 +1000,28 @@ impl OctopusNode {
     }
 
     fn on_onion(&mut self, ctx: &mut NodeCtx<'_>, from: Addr, mut packet: OnionPacket) {
+        let flow = packet.flow;
+        let route_next = packet.route.first().map(|h| h.node);
         // acknowledge receipt to the previous hop (DoS defense). Droppers
         // also ack — refusing would pin the blame locally and instantly.
-        let token = self.receipt_token(packet.flow);
-        ctx.send(from, Msg::Receipt { token });
+        let receipt_sent = !mutation::is(Mutation::ForwardWithoutReceipt);
+        if receipt_sent {
+            let token = self.receipt_token(flow);
+            ctx.send(from, Msg::Receipt { token });
+        }
         if self.drops_flow(from, ctx.rng()) {
             return; // selective DoS: silently drop after the receipt
         }
-        self.relay_flows
-            .insert(packet.flow, RelayFlow { prev: from });
+        self.relay_flows.insert(flow, RelayFlow { prev: from });
+        let mut forwarded_to = None;
+        let mut exited = false;
         if packet.route.is_empty() {
+            exited = true;
             // we are the exit relay: act on the initiator's behalf
             match packet.action {
                 ExitAction::QueryTable { target } => {
                     let req = self.fresh_req();
-                    self.exit_flows.insert(req, packet.flow);
+                    self.exit_flows.insert(req, flow);
                     ctx.send(target, Msg::GetTable { req });
                 }
                 ExitAction::Delegate {
@@ -948,12 +1029,11 @@ impl OctopusNode {
                     length,
                     fingers,
                 } => {
-                    self.on_walk_delegate(ctx, packet.flow, seed, length, fingers);
+                    self.on_walk_delegate(ctx, flow, seed, length, fingers);
                 }
             }
         } else {
             let hop = packet.route.remove(0);
-            let flow = packet.flow;
             self.awaiting_receipt.insert(flow, hop.node);
             ctx.set_timer(Duration::from_millis(800), Timer::ReceiptDeadline { flow });
             let delay = if hop.delay {
@@ -964,8 +1044,23 @@ impl OctopusNode {
             } else {
                 Duration::ZERO
             };
-            ctx.send_delayed(hop.node, Msg::Onion(packet), delay);
+            let target = if mutation::is(Mutation::MisrouteOnion) {
+                from // bounce it back where it came from
+            } else {
+                hop.node
+            };
+            forwarded_to = Some(target);
+            ctx.send_delayed(target, Msg::Onion(packet), delay);
         }
+        self.trace(ctx, || TraceEvent::OnionProcessed {
+            node: self.id,
+            from,
+            flow,
+            route_next,
+            receipt_sent,
+            forwarded_to,
+            exited,
+        });
     }
 
     fn on_onion_reply(&mut self, ctx: &mut NodeCtx<'_>, _from: Addr, flow: u64, payload: Msg) {

@@ -26,6 +26,7 @@ use crate::ca::CaNode;
 use crate::config::OctopusConfig;
 use crate::messages::{Msg, Timer};
 use crate::node::OctopusNode;
+use crate::trace::TraceEvent;
 
 /// The CA's reserved overlay address (outside the ring population).
 pub const CA_ADDR: NodeId = NodeId(u64::MAX);
@@ -114,6 +115,10 @@ pub enum Control {
     ChurnJoin(NodeId),
     /// Driver: take a measurement sample.
     Measure,
+    /// A semantic protocol decision for the reference-model oracle
+    /// (only emitted when [`OctopusConfig::trace`] is on; boxed to keep
+    /// the common variants small).
+    Trace(Box<TraceEvent>),
 }
 
 /// The actor hosted at each world address: a peer or the CA.
@@ -398,6 +403,17 @@ impl Merge for SimReport {
     }
 }
 
+/// In-flight state of an incremental run: the partially-folded report
+/// plus the CA-workload bins. Opaque — obtain from
+/// [`SecuritySim::begin`], feed to [`SecuritySim::advance_until`] and
+/// [`SecuritySim::finish`].
+pub struct RunAccum {
+    report: SimReport,
+    ca_bins: Vec<f64>,
+    bin: f64,
+    end: SimTime,
+}
+
 /// The security simulator.
 pub struct SecuritySim {
     cfg: SimConfig,
@@ -414,6 +430,11 @@ pub struct SecuritySim {
     churn: ChurnProcess,
     rng: rand::rngs::StdRng,
     debug: bool,
+    /// Recorded semantic trace, present iff [`OctopusConfig::trace`] is
+    /// on: node/CA events arrive via [`Control::Trace`] in global
+    /// control order; driver events (joins, kills, applied revocations)
+    /// are appended directly at their control's position.
+    trace: Option<Vec<(SimTime, TraceEvent)>>,
 }
 
 impl SecuritySim {
@@ -486,6 +507,7 @@ impl SecuritySim {
             None => ChurnProcess::disabled(),
         };
 
+        let trace_on = cfg.octopus.trace;
         let mut sim = SecuritySim {
             unrevoked_malicious: malicious.clone(),
             initial_malicious: malicious,
@@ -498,9 +520,30 @@ impl SecuritySim {
             churn,
             rng,
             debug: false,
+            trace: trace_on.then(Vec::new),
         };
+        if sim.trace.is_some() {
+            // genesis population: the model learns the initial membership
+            // the same way it learns churn joins
+            for id in sim.space.to_vec() {
+                sim.push_trace(SimTime::ZERO, TraceEvent::NodeJoined { node: id });
+            }
+        }
         sim.schedule_initial_events();
         sim
+    }
+
+    /// Append a driver-side trace event (no-op when tracing is off).
+    fn push_trace(&mut self, t: SimTime, ev: TraceEvent) {
+        if let Some(buf) = &mut self.trace {
+            buf.push((t, ev));
+        }
+    }
+
+    /// Take the recorded semantic trace (empty when tracing is off or
+    /// already taken). Call after [`SecuritySim::finish`].
+    pub fn take_trace(&mut self) -> Vec<(SimTime, TraceEvent)> {
+        self.trace.take().unwrap_or_default()
     }
 
     fn schedule_initial_events(&mut self) {
@@ -551,18 +594,57 @@ impl SecuritySim {
     /// count and execution mode are all pure speed knobs: a fixed seed
     /// yields a byte-identical report under every combination.
     pub fn run(&mut self) -> SimReport {
-        let mut report = SimReport {
-            trials: 1,
-            ..SimReport::default()
-        };
-        let end = SimTime::ZERO + self.cfg.duration;
+        let mut acc = self.begin();
+        let end = acc.end;
+        self.advance_until(&mut acc, end);
+        self.finish(acc)
+    }
+
+    /// Start an incremental run: returns the accumulator that
+    /// [`SecuritySim::advance_until`] folds window results into and
+    /// [`SecuritySim::finish`] turns into the final [`SimReport`].
+    ///
+    /// The incremental API exists for harnesses that need to interleave
+    /// the run with outside action — e.g. the fuzz oracle injecting
+    /// Byzantine messages at known simulated times. Chunking is a pure
+    /// speed knob like every other execution knob: any sequence of
+    /// deadlines yields the byte-identical report `run()` produces.
+    #[must_use]
+    pub fn begin(&mut self) -> RunAccum {
         let bin = 10.0; // seconds per CA-workload bin
-        let mut ca_bins: Vec<f64> = vec![0.0; (self.cfg.duration.as_secs_f64() / bin) as usize + 1];
-        while let Some(controls) = self.world.run_window(end) {
+        RunAccum {
+            report: SimReport {
+                trials: 1,
+                ..SimReport::default()
+            },
+            ca_bins: vec![0.0; (self.cfg.duration.as_secs_f64() / bin) as usize + 1],
+            bin,
+            end: SimTime::ZERO + self.cfg.duration,
+        }
+    }
+
+    /// Advance the simulation up to `deadline` (clamped to the run's
+    /// end), folding every control event produced on the way into the
+    /// accumulator in global `(time, key)` order.
+    pub fn advance_until(&mut self, acc: &mut RunAccum, deadline: SimTime) {
+        let deadline = deadline.min(acc.end);
+        while let Some(controls) = self.world.run_window(deadline) {
             for (t, c) in controls {
-                self.handle_control(c, t, &mut report, &mut ca_bins, bin);
+                self.handle_control(c, t, &mut acc.report, &mut acc.ca_bins, acc.bin);
             }
         }
+    }
+
+    /// Drain any remaining events and produce the final report.
+    pub fn finish(&mut self, mut acc: RunAccum) -> SimReport {
+        let end = acc.end;
+        self.advance_until(&mut acc, end);
+        let RunAccum {
+            mut report,
+            ca_bins,
+            bin,
+            ..
+        } = acc;
         report.ca_messages = ca_bins
             .iter()
             .enumerate()
@@ -688,12 +770,14 @@ impl SecuritySim {
                             report.false_positives += 1;
                         }
                         self.apply_revocation(id);
+                        self.push_trace(now, TraceEvent::RevocationApplied { node: id });
                     }
                     Verdict::Dismissed => report.dismissed += 1,
                 }
             }
             Control::ChurnKill(id) => self.churn_kill(id, now),
             Control::ChurnJoin(id) => self.churn_join(id, now),
+            Control::Trace(ev) => self.push_trace(now, *ev),
         }
     }
 
@@ -712,6 +796,7 @@ impl SecuritySim {
         self.world.remove_node(id);
         self.space.remove(id);
         self.adversary.update(|a| a.remove(id));
+        self.push_trace(now, TraceEvent::NodeKilled { node: id });
         self.with_ca(|ca| ca.note_death(id, now.as_secs_f64() as u64));
         let gap = self
             .churn
@@ -756,6 +841,7 @@ impl SecuritySim {
                 .update(|a| a.share_keys(id, kp.clone(), *cert));
         }
         self.world.insert_node(id, Actor::Peer(Box::new(node)));
+        self.push_trace(now, TraceEvent::NodeJoined { node: id });
         self.with_ca(|ca| ca.note_join(id, now.as_secs_f64() as u64));
         // announce the join to ring neighbors (idealized join protocol)
         let succs = self.space.successor_list(id, chord.successors);
@@ -811,6 +897,72 @@ impl SecuritySim {
             Some(Actor::Ca(ca)) => f(ca),
             _ => unreachable!("CA actor always present"),
         }
+    }
+
+    // --- harness hooks -------------------------------------------------
+    //
+    // The fuzz-oracle and differential harnesses need controlled ways to
+    // observe ground truth and to inject Byzantine wire messages between
+    // `advance_until` chunks. These hooks never run on the report path.
+
+    /// Inject a wire message into the world as if `from` had sent it —
+    /// the fuzz oracle's entry point for malformed/Byzantine payloads.
+    /// Deterministic: latency comes from the same seeded stream normal
+    /// driver injections use.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: Msg) {
+        self.world.inject_message(from, to, msg);
+    }
+
+    /// Ground-truth live membership, in ring order.
+    #[must_use]
+    pub fn live_ids(&self) -> Vec<NodeId> {
+        self.space.to_vec()
+    }
+
+    /// Nodes revoked so far.
+    #[must_use]
+    pub fn revoked_ids(&self) -> &BTreeSet<NodeId> {
+        &self.revoked
+    }
+
+    /// The originally-malicious population (guilt survives revocation).
+    #[must_use]
+    pub fn initial_malicious_ids(&self) -> &BTreeSet<NodeId> {
+        &self.initial_malicious
+    }
+
+    /// Borrow a live peer for inspection (`None` for the CA address or
+    /// a dead node).
+    pub fn with_peer<R>(&self, id: NodeId, f: impl FnOnce(&OctopusNode) -> R) -> Option<R> {
+        match self.world.node(id) {
+            Some(Actor::Peer(p)) => Some(f(p)),
+            _ => None,
+        }
+    }
+
+    /// A node's long-term keypair — lets the fuzz harness forge
+    /// authentic-looking evidence (correctly signed by the wrong party).
+    #[must_use]
+    pub fn keypair_of(&self, id: NodeId) -> Option<KeyPair> {
+        self.keys.get(&id).map(|(kp, _)| kp.clone())
+    }
+
+    /// A node's CA-issued certificate.
+    #[must_use]
+    pub fn cert_of(&self, id: NodeId) -> Option<octopus_crypto::Certificate> {
+        self.keys.get(&id).map(|(_, cert)| *cert)
+    }
+
+    /// Have the CA issue a certificate for `id` that expires at
+    /// simulated second `expires_at` — the fuzz harness's stale-cert
+    /// vector. `None` when `id` never had keys.
+    pub fn issue_cert_expiring(
+        &mut self,
+        id: NodeId,
+        expires_at: u64,
+    ) -> Option<octopus_crypto::Certificate> {
+        let key = self.keys.get(&id).map(|(kp, _)| kp.public())?;
+        Some(self.with_ca(|ca| ca.issue_cert_expiring(id, key, expires_at)))
     }
 }
 

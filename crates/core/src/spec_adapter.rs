@@ -1,0 +1,133 @@
+//! Adapter between engine trace events and the reference model.
+//!
+//! The engine speaks [`NodeId`]s and [`TraceEvent`]s; the model
+//! (`octopus-spec`) deliberately knows nothing about engine types and
+//! folds plain-`u64` [`ModelEvent`]s. This module is the entire
+//! coupling surface between the two: a total, field-by-field
+//! translation plus a convenience replay. Keeping it this thin is what
+//! makes the model an *independent* second implementation — if the
+//! adapter ever needs engine logic, the oracle is leaking.
+
+use octopus_id::NodeId;
+use octopus_spec::{ModelEvent, Replay};
+
+use crate::trace::TraceEvent;
+
+/// Translate one engine trace event into the model's vocabulary.
+/// Total: every trace event has exactly one model twin.
+#[must_use]
+pub fn to_model_event(ev: &TraceEvent) -> ModelEvent {
+    let id = |n: NodeId| n.0;
+    match *ev {
+        TraceEvent::NodeJoined { node } => ModelEvent::NodeJoined { node: id(node) },
+        TraceEvent::NodeKilled { node } => ModelEvent::NodeKilled { node: id(node) },
+        TraceEvent::RevocationApplied { node } => ModelEvent::RevocationApplied { node: id(node) },
+        TraceEvent::AnonSent { node, flow, first } => ModelEvent::AnonSent {
+            node: id(node),
+            flow,
+            first: id(first),
+        },
+        TraceEvent::OnionProcessed {
+            node,
+            from,
+            flow,
+            route_next,
+            receipt_sent,
+            forwarded_to,
+            exited,
+        } => ModelEvent::OnionProcessed {
+            node: id(node),
+            from: id(from),
+            flow,
+            route_next: route_next.map(id),
+            receipt_sent,
+            forwarded_to: forwarded_to.map(id),
+            exited,
+        },
+        TraceEvent::ReceiptChecked {
+            node,
+            from,
+            flow,
+            signer,
+            accepted,
+        } => ModelEvent::ReceiptChecked {
+            node: id(node),
+            from: id(from),
+            flow,
+            signer: id(signer),
+            accepted,
+        },
+        TraceEvent::ReceiptExpired { node, flow } => ModelEvent::ReceiptExpired {
+            node: id(node),
+            flow,
+        },
+        TraceEvent::LookupQuery {
+            node,
+            lookup,
+            target,
+        } => ModelEvent::LookupQuery {
+            node: id(node),
+            lookup,
+            target: id(target),
+        },
+        TraceEvent::TableChecked {
+            node,
+            lookup,
+            owner,
+            awaiting,
+            sig_ok,
+            accepted,
+        } => ModelEvent::TableChecked {
+            node: id(node),
+            lookup,
+            owner: id(owner),
+            awaiting: id(awaiting),
+            sig_ok,
+            accepted,
+        },
+        TraceEvent::RevocationSeen {
+            node,
+            ref revoked,
+            tracked,
+        } => ModelEvent::RevocationSeen {
+            node: id(node),
+            revoked: revoked.iter().map(|&n| n.0).collect(),
+            tracked,
+        },
+        TraceEvent::ReportIntake {
+            kind,
+            reporter,
+            cert_ok,
+            reporter_revoked,
+            evidence_ok,
+            accepted,
+        } => ModelEvent::ReportIntake {
+            kind,
+            reporter: id(reporter),
+            cert_ok,
+            reporter_revoked,
+            evidence_ok,
+            accepted,
+        },
+        TraceEvent::CaReceiptCheck {
+            signer,
+            expected_signer,
+            flow_ok,
+            sig_ok,
+            accepted,
+        } => ModelEvent::CaReceiptCheck {
+            signer: id(signer),
+            expected_signer: id(expected_signer),
+            flow_ok,
+            sig_ok,
+            accepted,
+        },
+    }
+}
+
+/// Fold a recorded engine trace through the model and return the
+/// replay: final model state plus every divergence between the engine's
+/// claims and the model's recomputation.
+pub fn replay_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> Replay {
+    octopus_spec::replay(events.into_iter().map(to_model_event))
+}

@@ -1,0 +1,160 @@
+//! Semantic trace events for the reference-model oracle.
+//!
+//! When [`crate::OctopusConfig::trace`] is on, honest nodes and the CA
+//! emit one [`TraceEvent`] per protocol decision through the
+//! deterministic control channel (`Control::Trace`), and the simulation
+//! driver appends its own membership events (joins, kills, applied
+//! revocations) in control order. The resulting `Vec<(SimTime,
+//! TraceEvent)>` is the engine's claim of what it did; the
+//! `octopus-spec` model independently recomputes every decision from
+//! the recorded inputs and flags disagreement
+//! ([`crate::spec_adapter::replay_trace`]).
+//!
+//! Emission rules that keep the trace a pure observation:
+//!
+//! * Node-side events come only from **honest** nodes — malicious
+//!   behaviour is the adversary's business, not a contract violation.
+//!   (`drops_flow` consumes no RNG for honest nodes, so the gate cannot
+//!   shift seeded streams.)
+//! * Emitting never consumes the node's RNG and never sends wire
+//!   messages, so `trace: true` leaves reports byte-identical.
+//! * Validity bits (`sig_ok`, `cert_ok`, …) are recomputed at the
+//!   emission site with direct verify calls, independent of the code
+//!   path that made the decision — which is what lets the oracle catch
+//!   a broken decision path (see `crate::mutation`).
+
+use octopus_id::NodeId;
+use octopus_spec::ReportKind;
+
+/// One semantic record of a protocol decision: the inputs the engine
+/// saw plus the engine's claim of the outcome. The spec-crate twin of
+/// this type is `octopus_spec::ModelEvent`; the adapter in
+/// [`crate::spec_adapter`] converts between them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node entered the ground-truth membership (genesis or churn).
+    NodeJoined {
+        /// The joining node.
+        node: NodeId,
+    },
+    /// A live node was killed by churn.
+    NodeKilled {
+        /// The dying node.
+        node: NodeId,
+    },
+    /// The driver applied a CA revocation verdict: the node left the
+    /// ground truth and its certificate is dead.
+    RevocationApplied {
+        /// The revoked node.
+        node: NodeId,
+    },
+    /// An honest initiator launched an anonymous action and awaits a
+    /// receipt from the first relay.
+    AnonSent {
+        /// The initiator.
+        node: NodeId,
+        /// The onion flow identifier.
+        flow: u64,
+        /// The first relay on the route.
+        first: NodeId,
+    },
+    /// An honest relay processed one onion hop.
+    OnionProcessed {
+        /// The relay.
+        node: NodeId,
+        /// The previous hop.
+        from: NodeId,
+        /// The onion flow identifier.
+        flow: u64,
+        /// Next hop named by the packet's remaining route, if any.
+        route_next: Option<NodeId>,
+        /// Claim: a receipt went back to `from`.
+        receipt_sent: bool,
+        /// Claim: the peeled packet went to this node.
+        forwarded_to: Option<NodeId>,
+        /// Claim: this relay was the exit for the flow.
+        exited: bool,
+    },
+    /// An honest node judged an incoming receipt token.
+    ReceiptChecked {
+        /// The node holding the expectation.
+        node: NodeId,
+        /// The message sender.
+        from: NodeId,
+        /// The flow the token covers.
+        flow: u64,
+        /// The claimed signer.
+        signer: NodeId,
+        /// Claim: accepted, wait cleared.
+        accepted: bool,
+    },
+    /// An honest node's receipt deadline fired on a live expectation.
+    ReceiptExpired {
+        /// The node abandoning the wait.
+        node: NodeId,
+        /// The flow whose receipt never came.
+        flow: u64,
+    },
+    /// An honest node (re-)queried a secure-lookup hop.
+    LookupQuery {
+        /// The initiator.
+        node: NodeId,
+        /// The initiator-local lookup id.
+        lookup: u64,
+        /// The table owner now awaited.
+        target: NodeId,
+    },
+    /// An honest node judged an incoming signed routing table.
+    TableChecked {
+        /// The initiator.
+        node: NodeId,
+        /// The initiator-local lookup id.
+        lookup: u64,
+        /// The owner named by the table.
+        owner: NodeId,
+        /// The owner the engine awaits.
+        awaiting: NodeId,
+        /// Recomputed independently: certificate + signature verify.
+        sig_ok: bool,
+        /// Claim: table accepted, lookup advanced.
+        accepted: bool,
+    },
+    /// An honest node received a revocation notice.
+    RevocationSeen {
+        /// The receiving node.
+        node: NodeId,
+        /// The revoked nodes listed in the notice.
+        revoked: Vec<NodeId>,
+        /// Claim: every listed node is now tracked as revoked locally.
+        tracked: bool,
+    },
+    /// The CA ran the validity gate on a misbehaviour report.
+    ReportIntake {
+        /// Report variant.
+        kind: ReportKind,
+        /// The reporting node.
+        reporter: NodeId,
+        /// Recomputed: reporter certificate names the reporter and
+        /// verifies.
+        cert_ok: bool,
+        /// Recomputed: the authority lists the reporter as revoked.
+        reporter_revoked: bool,
+        /// Recomputed: the report's signed evidence verifies.
+        evidence_ok: bool,
+        /// Claim: the gate passed and a case opened.
+        accepted: bool,
+    },
+    /// The CA verified a receipt token as dropper-case evidence.
+    CaReceiptCheck {
+        /// The claimed signer.
+        signer: NodeId,
+        /// The relay that should have signed.
+        expected_signer: NodeId,
+        /// Recomputed: the token covers the case's flow.
+        flow_ok: bool,
+        /// Recomputed: the signature verifies under the signer's key.
+        sig_ok: bool,
+        /// Claim: accepted as valid evidence.
+        accepted: bool,
+    },
+}

@@ -207,6 +207,16 @@ impl ShardedIdSpace {
         self.at(rng.gen_range(0..self.len))
     }
 
+    /// Per-slice occupancy, in slice order. The sum equals [`len`];
+    /// slice `s` counts exactly the members whose top bits equal `s` —
+    /// the storage-layout invariant the churn property tests pin.
+    ///
+    /// [`len`]: ShardedIdSpace::len
+    #[must_use]
+    pub fn slice_occupancy(&self) -> Vec<usize> {
+        self.slices.iter().map(Vec::len).collect()
+    }
+
     /// Remove an id (e.g. a churned node). Returns whether it was
     /// present. Memmoves `O(N / SLICES)`.
     pub fn remove(&mut self, id: NodeId) -> bool {

@@ -1,0 +1,173 @@
+//! Generative differential properties: [`ShardedIdSpace`] must be
+//! observationally identical to the flat [`IdSpace`] under arbitrary
+//! seeded churn — same membership, same ring queries, bit-compatible
+//! `random_member` draws, and a slice layout that always partitions the
+//! universe by top id bits. (Originally written against `proptest`; the
+//! offline build replays the same properties over seeded random case
+//! generators.)
+
+use std::collections::HashSet;
+
+use octopus_id::sharded::SLICES;
+use octopus_id::{IdSpace, Key, NodeId, ShardedIdSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 64;
+const CHURN_OPS: usize = 400;
+
+/// A random set of distinct ids, biased so some slices cluster.
+fn random_ids(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<NodeId> {
+    let n = rng.gen_range(lo..hi);
+    let mut set = HashSet::new();
+    while set.len() < n {
+        // half the ids cluster into a single slice to exercise uneven
+        // occupancy, half spread uniformly
+        let id = if rng.gen_bool(0.5) {
+            rng.gen::<u64>()
+        } else {
+            (7u64 << 58) | (rng.gen::<u64>() >> 6)
+        };
+        set.insert(id);
+    }
+    set.into_iter().map(NodeId).collect()
+}
+
+/// The slice a member must live in (top bits), mirrored from the
+/// documented layout contract.
+fn expected_slice(id: NodeId) -> usize {
+    (id.0 >> (64 - SLICES.trailing_zeros())) as usize
+}
+
+/// Assert the two spaces agree on everything observable.
+fn assert_twin(flat: &IdSpace, sharded: &ShardedIdSpace, probes: &mut StdRng) {
+    assert_eq!(sharded.len(), flat.len());
+    assert_eq!(sharded.is_empty(), flat.is_empty());
+    assert_eq!(sharded.to_vec(), flat.ids(), "universe order diverged");
+    let occupancy = sharded.slice_occupancy();
+    assert_eq!(occupancy.len(), SLICES);
+    assert_eq!(
+        occupancy.iter().sum::<usize>(),
+        flat.len(),
+        "occupancy does not sum to the population"
+    );
+    // occupancy must equal the top-bits histogram of the flat universe
+    let mut histogram = vec![0usize; SLICES];
+    for &id in flat.ids() {
+        histogram[expected_slice(id)] += 1;
+    }
+    assert_eq!(occupancy, histogram, "slice layout diverged from top bits");
+    for _ in 0..16 {
+        let probe = NodeId(probes.gen());
+        assert_eq!(sharded.contains(probe), flat.contains(probe));
+        if flat.is_empty() {
+            continue;
+        }
+        let key = Key(probe.0);
+        assert_eq!(sharded.owner_of(key), flat.owner_of(key));
+        for k in 1..=3 {
+            assert_eq!(sharded.successor(probe, k), flat.successor(probe, k));
+            assert_eq!(sharded.predecessor(probe, k), flat.predecessor(probe, k));
+        }
+        assert_eq!(
+            sharded.successor_list(probe, 5),
+            flat.successor_list(probe, 5)
+        );
+        assert_eq!(
+            sharded.predecessor_list(probe, 5),
+            flat.predecessor_list(probe, 5)
+        );
+    }
+}
+
+/// Random interleaved churn: inserts, removes (of members and
+/// non-members alike) keep the two spaces in lockstep, with every
+/// mutation's return value matching.
+#[test]
+fn churn_keeps_spaces_in_lockstep() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0DE + case as u64);
+        let ids = random_ids(&mut rng, 1, 200);
+        let mut flat = IdSpace::new(ids.clone());
+        let mut sharded = ShardedIdSpace::new(&ids);
+        let mut pool = ids;
+        for _ in 0..CHURN_OPS {
+            let insert = rng.gen_bool(0.5);
+            // half the time target an existing member, half a fresh id
+            let id = if !pool.is_empty() && rng.gen_bool(0.5) {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                let fresh = NodeId(rng.gen());
+                pool.push(fresh);
+                fresh
+            };
+            if insert {
+                assert_eq!(sharded.insert(id), flat.insert(id), "insert({id})");
+            } else {
+                assert_eq!(sharded.remove(id), flat.remove(id), "remove({id})");
+            }
+        }
+        assert_twin(&flat, &sharded, &mut rng);
+    }
+}
+
+/// `random_member` consumes exactly one `gen_range(0..len)` draw on
+/// both implementations: same seed, same draw sequence, same members —
+/// so swapping storage backends never shifts a seeded experiment.
+#[test]
+fn random_member_draws_are_bit_compatible() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD1CE + case as u64);
+        let ids = random_ids(&mut rng, 1, 300);
+        let mut flat = IdSpace::new(ids.clone());
+        let mut sharded = ShardedIdSpace::new(&ids);
+        let mut flat_rng = StdRng::seed_from_u64(case as u64);
+        let mut sharded_rng = StdRng::seed_from_u64(case as u64);
+        for round in 0..64 {
+            let a = flat.random_member(&mut flat_rng);
+            let b = sharded.random_member(&mut sharded_rng);
+            assert_eq!(a, b, "case {case} round {round}: draw diverged");
+            // interleave churn between draws so stream alignment
+            // survives mutation too
+            if round % 3 == 0 && flat.len() > 1 {
+                assert_eq!(sharded.remove(a), flat.remove(a));
+            } else if round % 3 == 1 {
+                let fresh = NodeId(rng.gen());
+                assert_eq!(sharded.insert(fresh), flat.insert(fresh));
+            }
+        }
+        // after identical draw counts the two rngs are in the same
+        // state: one more draw from each still agrees
+        assert_eq!(
+            flat.random_member(&mut flat_rng),
+            sharded.random_member(&mut sharded_rng)
+        );
+    }
+}
+
+/// Slice occupancy tracks churn exactly: draining the space slice by
+/// slice leaves every occupancy bucket empty, and `at` walks slices in
+/// global order throughout.
+#[test]
+fn occupancy_tracks_churn_to_empty() {
+    let mut rng = StdRng::seed_from_u64(0xACC);
+    let ids = random_ids(&mut rng, 50, 150);
+    let mut flat = IdSpace::new(ids.clone());
+    let mut sharded = ShardedIdSpace::new(&ids);
+    let mut order = flat.ids().to_vec();
+    // drain in a shuffled order
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for (drained, id) in order.iter().enumerate() {
+        assert_eq!(sharded.at(0), flat.ids()[0], "smallest member diverged");
+        assert!(sharded.remove(*id));
+        assert!(flat.remove(*id));
+        assert_eq!(
+            sharded.slice_occupancy().iter().sum::<usize>(),
+            order.len() - drained - 1
+        );
+    }
+    assert!(sharded.is_empty());
+    assert!(sharded.slice_occupancy().iter().all(|&n| n == 0));
+}

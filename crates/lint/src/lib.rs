@@ -10,7 +10,7 @@
 //!
 //! | code | rule | contract clause |
 //! |---|---|---|
-//! | `OCT-LINT-001` | `nondet-iteration` | no `HashMap`/`HashSet` in engine crates (`sim`, `net`, `core`, `id`, `metrics`) — iteration order is seeded per process; use `BTreeMap`/`BTreeSet` or justify a keyed-access-only exception |
+//! | `OCT-LINT-001` | `nondet-iteration` | no `HashMap`/`HashSet` in engine crates (`sim`, `net`, `core`, `id`, `metrics`, `spec`) — iteration order is seeded per process; use `BTreeMap`/`BTreeSet` or justify a keyed-access-only exception |
 //! | `OCT-LINT-002` | `wall-clock` | no `Instant::now`/`SystemTime`/`UNIX_EPOCH` outside `crates/bench` — simulated time comes from the event queue |
 //! | `OCT-LINT-003` | `ambient-rng` | no `thread_rng`/`from_entropy`/`OsRng` anywhere — every stream derives from the master seed via `derive_rng`/`split_seed` |
 //! | `OCT-LINT-004` | `thread-identity` | no `thread::current()`/`ThreadId`/`available_parallelism` outside `TrialRunner`/`RunArgs`/pool sizing — results must not depend on which or how many threads ran |
@@ -67,7 +67,7 @@ pub const RULES: &[Rule] = &[
     Rule {
         code: "OCT-LINT-001",
         name: "nondet-iteration",
-        summary: "no HashMap/HashSet in engine crates (sim/net/core/id/metrics): \
+        summary: "no HashMap/HashSet in engine crates (sim/net/core/id/metrics/spec): \
                   iteration order is per-process random; use BTreeMap/BTreeSet or justify",
     },
     Rule {
@@ -105,6 +105,7 @@ const ENGINE_SRC: &[&str] = &[
     "crates/core/src/",
     "crates/id/src/",
     "crates/metrics/src/",
+    "crates/spec/src/",
 ];
 
 /// `OCT-LINT-002` exemption: the bench harness times real wall-clock.

@@ -63,6 +63,24 @@ fn rule_001_nondet_iteration_fires_with_stable_code() {
     assert!(lint_source("crates/crypto/src/ok.rs", &src).is_clean());
 }
 
+/// `crates/spec` — the executable reference model the differential
+/// suites replay engine traces through — carries the full engine-crate
+/// posture: its verdicts must be as replay-stable as the engine it
+/// judges, so it gets no exemption from any rule.
+#[test]
+fn reference_model_crate_is_engine_source() {
+    // nondet iteration is a violation in its src tree…
+    assert_fixture("bad_001_nondet_iteration.rs", "crates/spec/src/bad_001.rs");
+    // …though, as for every crate, only in src — tests are exempt
+    let src = fixture("bad_001_nondet_iteration.rs");
+    assert!(lint_source("crates/spec/tests/x.rs", &src).is_clean());
+    // and the wall-clock / ambient-rng rules apply as everywhere else
+    let clock = fixture("bad_002_wall_clock.rs");
+    assert!(!lint_source("crates/spec/src/clock.rs", &clock).is_clean());
+    let rng = fixture("bad_003_ambient_rng.rs");
+    assert!(!lint_source("crates/spec/src/rng.rs", &rng).is_clean());
+}
+
 #[test]
 fn rule_002_wall_clock_fires_with_stable_code() {
     assert_fixture("bad_002_wall_clock.rs", "crates/net/src/bad_002.rs");

@@ -26,9 +26,11 @@
 //!    out of its slot, in index order, and the barrier merge proceeds
 //!    exactly as in sequential mode.
 //!
-//! A worker panic is caught, stashed, and re-raised on the dispatcher
-//! after the barrier completes, so a poisoned window can never hang the
-//! driver or strand shards inside the pool.
+//! A worker panic is caught, stashed, and handed back to the
+//! dispatcher after the barrier completes, which re-raises it only
+//! once its own barrier merge has run — so a poisoned window can never
+//! hang the driver, strand shards inside the pool, or leave the world
+//! inconsistent for the windows (or the drop) that follow.
 //!
 //! Determinism is untouched by construction: workers only ever run the
 //! same `run_batch` bodies the sequential path runs, on disjoint shard
@@ -36,7 +38,7 @@
 //! and backend choice) is a pure speed knob — the `engine_determinism`
 //! suite pins byte-identical reports across pool widths.
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{JoinHandle, Thread};
@@ -168,12 +170,19 @@ where
     /// slots, open the epoch, wait for every worker, and move the
     /// shards back — in index order, so the caller's barrier merge sees
     /// exactly the layout sequential execution leaves behind.
+    ///
+    /// Returns the first batch-panic payload (if any) instead of
+    /// re-raising it here: the caller must finish its barrier merge —
+    /// park the completed batches' envelopes, advance the clock — and
+    /// only then resume the unwind, or the world would be left with
+    /// stale outgoing lanes that later windows park against a newer
+    /// clock.
     pub(crate) fn run_window(
         &self,
         shards: &mut Vec<Shard<B>>,
         window_end: SimTime,
         exec_end: SimTime,
-    ) {
+    ) -> Option<Box<dyn std::any::Any + Send>> {
         let shared = &self.shared;
         debug_assert_eq!(shards.len(), shared.slots.len());
         for (slot, shard) in shared.slots.iter().zip(shards.drain(..)) {
@@ -202,9 +211,7 @@ where
                 .take()
                 .expect("worker returned its shard")
         }));
-        if let Some(payload) = shared.panic.lock().expect("panic slot poisoned").take() {
-            resume_unwind(payload);
-        }
+        shared.panic.lock().expect("panic slot poisoned").take()
     }
 }
 

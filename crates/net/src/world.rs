@@ -50,6 +50,7 @@
 //!   construction — threads change wall-clock time, never state.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use octopus_id::NodeId;
@@ -891,6 +892,17 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     /// construction: threads only change *when* a shard's batch runs on
     /// the wall clock, never what it computes or how the barrier orders
     /// the results.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside a node handler is re-raised on the calling
+    /// thread — with its original payload, regardless of pool width —
+    /// but only *after* the window's barrier merge, so a driver that
+    /// catches it holds a consistent world: every completed event's
+    /// effects (messages, timers, clock) are visible, every shard has
+    /// been reclaimed from the worker pool, and only the panicking
+    /// node (which died mid-handler) has left the overlay. Subsequent
+    /// windows, and dropping the world, behave normally.
     pub fn run_window(&mut self, deadline: SimTime) -> Option<Vec<(SimTime, B::Control)>>
     where
         B: Send + 'static,
@@ -935,11 +947,21 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
             window_end,
             exec_end,
         };
-        if exec_end <= t0 {
+        // A handler panic must not skip the barrier merge below: the
+        // batches that *did* complete have outgoing envelopes and an
+        // advanced clock that later windows (or a caught-and-resumed
+        // driver) depend on. Batch-phase panics are therefore caught
+        // here (the pool catches its own workers' panics and hands the
+        // first payload back) and re-raised only after the merge, so a
+        // caught panic leaves the world consistent: every completed
+        // event's effects are visible, and only the panicking node —
+        // which died mid-handler — is gone from its slab.
+        let batch_panic: Option<Box<dyn std::any::Any + Send>> = if exec_end <= t0 {
             // Zero lookahead (or a control due right at t0): degenerate
             // to one sequential event — the flush-per-pop classic
             // engine. Slower, never wrong.
-            self.shards[head_idx].run_one(&ctx);
+            let shard = &mut self.shards[head_idx];
+            catch_unwind(AssertUnwindSafe(|| shard.run_one(&ctx))).err()
         } else if self.parallel && self.shards.len() > 1 {
             if self.pool_workers == 0 {
                 self.pool_workers = pool::worker_count(self.worker_threads, self.shards.len());
@@ -947,9 +969,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
             if self.pool_workers <= 1 {
                 // One effective worker: the pool would only add barrier
                 // crossings. Run the batches inline.
-                for shard in &mut self.shards {
-                    shard.run_batch(&ctx);
-                }
+                Self::run_batches_inline(&mut self.shards, &ctx)
             } else {
                 if self.pool.is_none() {
                     self.pool = Some(ShardPool::new(
@@ -961,13 +981,11 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
                     ));
                 }
                 let pool = self.pool.as_ref().expect("pool just ensured");
-                pool.run_window(&mut self.shards, window_end, exec_end);
+                pool.run_window(&mut self.shards, window_end, exec_end)
             }
         } else {
-            for shard in &mut self.shards {
-                shard.run_batch(&ctx);
-            }
-        }
+            Self::run_batches_inline(&mut self.shards, &ctx)
+        };
         // Barrier merge: park envelopes, order controls, advance time.
         // Everything here is key-driven or commutative, so the merge is
         // independent of which thread finished first.
@@ -979,8 +997,27 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
             Self::park_outgoing(&mut self.bus, shard);
         }
         self.now = now;
+        if let Some(payload) = batch_panic {
+            resume_unwind(payload);
+        }
         emitted.sort_unstable_by_key(|&(t, k, _)| (t, k));
         Some(emitted.into_iter().map(|(t, _, c)| (t, c)).collect())
+    }
+
+    /// Run every shard's window batch on the calling thread, stopping
+    /// at (and returning) the first handler panic. Remaining shards are
+    /// left unexecuted — their events are still queued, exactly as if
+    /// the window had opened later.
+    fn run_batches_inline(
+        shards: &mut [Shard<B>],
+        ctx: &ShardCtx<'_, L>,
+    ) -> Option<Box<dyn std::any::Any + Send>> {
+        for shard in shards {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| shard.run_batch(ctx))) {
+                return Some(payload);
+            }
+        }
+        None
     }
 }
 

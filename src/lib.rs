@@ -18,6 +18,7 @@
 //! | [`baselines`] | Chord, Halo, NISAN, Torsk comparison implementations |
 //! | [`anonymity`] | H(I)/H(T) entropy calculators, range-estimation and timing attacks |
 //! | [`metrics`] | summaries, CDFs, time series, text tables |
+//! | [`spec`] | dependency-free executable reference model (`step`, `check_invariants`) for differential checking |
 //!
 //! ## Quick start
 //!
@@ -52,3 +53,4 @@ pub use octopus_id as id;
 pub use octopus_metrics as metrics;
 pub use octopus_net as net;
 pub use octopus_sim as sim;
+pub use octopus_spec as spec;
