@@ -18,8 +18,11 @@ use common::{assert_model_agrees, cube, probe, run_traced, TracedRun};
 use octopus_core::TraceEvent;
 
 /// Seeds per suite slice; three slices give ≥ 50 seeded schedules
-/// through the full cube while keeping wall-clock parallel.
-const SEEDS_PER_SLICE: u64 = 18;
+/// through the full cube while keeping wall-clock parallel. Under
+/// `tsan-safe` (the ThreadSanitizer CI job, ~10-20x slower) the corpus
+/// shrinks to four seeds per slice — still crossing every cube point —
+/// and the breadth assertions in `check_slice` are skipped.
+const SEEDS_PER_SLICE: u64 = if cfg!(feature = "tsan-safe") { 4 } else { 18 };
 
 /// Run one seed at the sequential baseline and at one rotating cube
 /// variant; assert byte-identical reports and traces across the two
@@ -69,6 +72,11 @@ fn check_slice(first_seed: u64) {
                 _ => {}
             }
         }
+    }
+    if cfg!(feature = "tsan-safe") {
+        // the shrunken sanitizer corpus still has to do *something*
+        assert!(onions + receipts + tables + lookups + anon > 0);
+        return;
     }
     assert!(onions > 100, "corpus exercised too few onion hops");
     assert!(receipts > 100, "corpus exercised too few receipt checks");

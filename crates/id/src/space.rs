@@ -40,7 +40,7 @@ impl IdSpace {
     /// Sample `n` distinct random ids.
     pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
         let mut ids = Vec::with_capacity(n);
-        let mut seen = std::collections::HashSet::with_capacity(n); // octolint: allow(OCT-LINT-001) -- membership-only dedup while sampling; never iterated, O(1) matters at N=1M
+        let mut seen = std::collections::HashSet::with_capacity(n); // membership-only dedup while sampling; never iterated, O(1) matters at N=1M
         while ids.len() < n {
             let id = NodeId(rng.gen());
             if seen.insert(id) {

@@ -10,41 +10,55 @@
 //!
 //! | code | rule | contract clause |
 //! |---|---|---|
-//! | `OCT-LINT-001` | `nondet-iteration` | no `HashMap`/`HashSet` in engine crates (`sim`, `net`, `core`, `id`, `metrics`, `spec`) — iteration order is seeded per process; use `BTreeMap`/`BTreeSet` or justify a keyed-access-only exception |
+//! | `OCT-LINT-001` | `nondet-iteration` | **retired** — superseded by the precise dataflow rule `OCT-LINT-006`; the blanket `HashMap`/`HashSet` type ban forced allows for keyed-access-only maps |
 //! | `OCT-LINT-002` | `wall-clock` | no `Instant::now`/`SystemTime`/`UNIX_EPOCH` outside `crates/bench` — simulated time comes from the event queue |
 //! | `OCT-LINT-003` | `ambient-rng` | no `thread_rng`/`from_entropy`/`OsRng` anywhere — every stream derives from the master seed via `derive_rng`/`split_seed` |
 //! | `OCT-LINT-004` | `thread-identity` | no `thread::current()`/`ThreadId`/`available_parallelism` outside `TrialRunner`/`RunArgs`/pool sizing — results must not depend on which or how many threads ran |
 //! | `OCT-LINT-005` | `shard-unsafe-write` | no `.write()`/`.update()` on the sharded adversary directory outside driver modules — shard threads may only read their replica |
+//! | `OCT-LINT-006` | `unordered-flow` | no binding produced by `HashMap`/`HashSet` iteration may flow into an order-sensitive sink (push/insert/entry/extend/append/fold/hash/emit) without an intervening sort — keyed access is fine |
+//! | `OCT-LINT-007` | `float-merge` | no f32/f64 `+=`/`sum()`/`fold` inside merge paths (`impl Merge`, `absorb`, `*merge*` fns) — float addition is not associative, so merge order changes results |
+//! | `OCT-LINT-008` | `guard-discipline` | in the barrier modules (`net/pool.rs`, `net/world.rs`): no second lock and no potential panic while a lock guard is live — the PR-8 poisoned-mutex cascade as a lint |
+//! | `OCT-LINT-009` | `barrier-panic-path` | shard batch execution (`run_batch`) must be reachable only through `catch_unwind`-covered call paths, checked by an intra-crate call-graph walk |
 //!
-//! Plus the meta-rule `OCT-LINT-000` (`suppression-audit`): a
-//! suppression that lacks a justification, names an unknown rule, or
-//! never fires is itself a violation, so the allow-list stays honest.
+//! Plus the meta-rule `OCT-LINT-000` (`analyzer-integrity`): a
+//! suppression that lacks a justification, names an unknown or retired
+//! rule, or never fires is itself a violation — and so is a file the
+//! analyzer cannot parse (a parse failure is a lint error, never a
+//! silent skip).
 //!
 //! Suppressions are explicit and auditable, one per offending line:
 //!
 //! ```text
-//! index: HashMap<Addr, u32>, // octolint: allow(OCT-LINT-001) -- keyed access only, never iterated
+//! *self.sent.entry(node).or_default() += bytes; // octolint: allow(OCT-LINT-006) -- commutative u64 merge
 //! ```
 //!
 //! The analyzer is deliberately dependency-free (no `syn`; the vendor
-//! tree is offline): a hand-rolled lexer strips comments, string/char
-//! literals and attributes, then token-pattern matching drives the
-//! rules. Because it matches tokens, not types, `OCT-LINT-001` fires at
-//! *type-use* sites (`HashMap::new()`, `HashMap<K, V>`) rather than
-//! trying to type the receiver of a `for` loop — any `HashMap` present
-//! in an engine crate is a hazard, which is a superset of the iteration
-//! sites and exactly the posture we want. `use` declarations are
-//! exempt: importing a name is harmless until it is used.
+//! tree is offline). Since v2 it is no longer a token grep: one shared
+//! lex+parse pass per file (`lexer`, `parser`) produces a
+//! per-function statement tree with scope-tracked bindings, and the
+//! rule families (`rules`) consume that shared product — taint-style
+//! dataflow for 006/007, guard liveness for 008, and an intra-crate
+//! call-graph fixpoint for 009.
 //!
 //! Diagnostics are path-sorted and line-sorted, so the tool's own
 //! output is replay-stable. Exit codes are script-friendly: 0 clean,
-//! 1 violations, 2 usage/IO error.
+//! 1 violations, 2 usage/IO error. `--format json` renders the same
+//! diagnostics (including audited suppressions) as a stable
+//! machine-readable schema; `--timing` prints per-rule wall time.
 
 #![forbid(unsafe_code)]
+
+mod lexer;
+mod parser;
+mod rules;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use lexer::{Lexed, Suppression};
+use rules::{Candidate, FileCtx};
 
 /// One enforced rule of the determinism contract.
 #[derive(Clone, Copy, Debug)]
@@ -55,32 +69,42 @@ pub struct Rule {
     pub name: &'static str,
     /// One-line contract clause, shown by `--list-rules`.
     pub summary: &'static str,
+    /// Retired rules stay in the table (codes are never reused) but no
+    /// longer fire; suppressions naming them are audit violations.
+    pub retired: bool,
 }
 
-/// The rule table (the meta-rule `OCT-LINT-000` first, then 001..005).
+/// The rule table (the meta-rule `OCT-LINT-000` first, then 001..009).
 pub const RULES: &[Rule] = &[
     Rule {
         code: "OCT-LINT-000",
-        name: "suppression-audit",
-        summary: "suppressions must carry a justification, name a known rule, and actually fire",
+        name: "analyzer-integrity",
+        summary: "suppressions must carry a justification, name a known live rule, and \
+                  actually fire; files must parse (a parse failure is a violation, \
+                  never a silent skip)",
+        retired: false,
     },
     Rule {
         code: "OCT-LINT-001",
         name: "nondet-iteration",
-        summary: "no HashMap/HashSet in engine crates (sim/net/core/id/metrics/spec): \
-                  iteration order is per-process random; use BTreeMap/BTreeSet or justify",
+        summary: "RETIRED (superseded by OCT-LINT-006): the blanket HashMap/HashSet type \
+                  ban flagged keyed-access-only maps; the dataflow rule flags the actual \
+                  hazard — unordered iteration reaching order-sensitive sinks",
+        retired: true,
     },
     Rule {
         code: "OCT-LINT-002",
         name: "wall-clock",
         summary: "no Instant::now/SystemTime/UNIX_EPOCH outside crates/bench: \
                   simulated time comes from the event queue",
+        retired: false,
     },
     Rule {
         code: "OCT-LINT-003",
         name: "ambient-rng",
         summary: "no thread_rng/from_entropy/OsRng: derive every stream from the \
                   master seed (derive_rng/split_seed)",
+        retired: false,
     },
     Rule {
         code: "OCT-LINT-004",
@@ -88,42 +112,49 @@ pub const RULES: &[Rule] = &[
         summary: "no thread::current()/ThreadId/available_parallelism outside \
                   TrialRunner/RunArgs/pool sizing: results must not depend on \
                   thread count or identity",
+        retired: false,
     },
     Rule {
         code: "OCT-LINT-005",
         name: "shard-unsafe-write",
         summary: "no .write()/.update() on the sharded adversary directory outside \
                   driver modules: shard threads may only read their replica",
+        retired: false,
+    },
+    Rule {
+        code: "OCT-LINT-006",
+        name: "unordered-flow",
+        summary: "no HashMap/HashSet iteration flowing into order-sensitive sinks \
+                  (push/insert/entry/extend/append/fold/hash/emit) without a sort: \
+                  iteration order is seeded per process; keyed access is fine",
+        retired: false,
+    },
+    Rule {
+        code: "OCT-LINT-007",
+        name: "float-merge",
+        summary: "no f32/f64 +=/sum()/fold in merge paths (impl Merge / absorb / *merge*): \
+                  float addition is not associative, so merge order changes results",
+        retired: false,
+    },
+    Rule {
+        code: "OCT-LINT-008",
+        name: "guard-discipline",
+        summary: "in net/pool.rs and net/world.rs: no second lock and no potential panic \
+                  (panic!/unwrap/expect/resume_unwind) while a lock guard is live",
+        retired: false,
+    },
+    Rule {
+        code: "OCT-LINT-009",
+        name: "barrier-panic-path",
+        summary: "shard batch execution (run_batch) must be reachable only through \
+                  catch_unwind-covered call paths (intra-crate call-graph walk)",
+        retired: false,
     },
 ];
 
-/// Source prefixes where `OCT-LINT-001`/`005` apply: the deterministic
-/// engine crates whose state feeds replayed results.
-const ENGINE_SRC: &[&str] = &[
-    "crates/sim/src/",
-    "crates/net/src/",
-    "crates/core/src/",
-    "crates/id/src/",
-    "crates/metrics/src/",
-    "crates/spec/src/",
-];
-
-/// `OCT-LINT-002` exemption: the bench harness times real wall-clock.
-const WALL_CLOCK_EXEMPT: &[&str] = &["crates/bench/"];
-
-/// `OCT-LINT-004` exemptions: the three sanctioned fan-out sizing
-/// sites (trial fan-out, CLI parsing, and the shard worker pool —
-/// whose width is a pure speed knob, never an input to results).
-const THREAD_IDENTITY_EXEMPT: &[&str] = &[
-    "crates/core/src/trial.rs",
-    "crates/bench/src/lib.rs",
-    "crates/net/src/pool.rs",
-];
-
-/// `OCT-LINT-005` exemptions: the single-threaded driver modules that
-/// legitimately take the adversary write lock between windows, and the
-/// module defining the lock itself.
-const SHARD_WRITE_EXEMPT: &[&str] = &["crates/core/src/simnet.rs", "crates/core/src/adversary.rs"];
+fn rule_by_code(code: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.code == code)
+}
 
 /// One diagnostic, anchored to a file/line/column.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -152,15 +183,35 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Wall-clock cost of each analysis phase, keyed by a stable phase
+/// name. Collected unconditionally (the cost is nanoseconds); printed
+/// by `--timing`.
+#[derive(Clone, Debug, Default)]
+pub struct Timings {
+    /// Phase name → accumulated duration across all files.
+    pub phases: BTreeMap<&'static str, Duration>,
+}
+
+impl Timings {
+    fn add(&mut self, phase: &'static str, d: Duration) {
+        *self.phases.entry(phase).or_default() += d;
+    }
+}
+
 /// Result of linting one file or a whole tree.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
     /// Violations, sorted by (path, line, col, code).
     pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics silenced by a justified suppression — retained so
+    /// `--format json` can expose the audited allow inventory.
+    pub audited: Vec<Diagnostic>,
     /// Files scanned.
     pub files_scanned: usize,
-    /// Diagnostics silenced by a justified suppression.
+    /// Diagnostics silenced by a justified suppression (== `audited.len()`).
     pub suppressed: usize,
+    /// Per-phase wall time.
+    pub timings: Timings,
 }
 
 impl Report {
@@ -169,492 +220,154 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
     }
-}
 
-// ---------------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------------
-
-#[derive(Clone, Debug)]
-struct Tok {
-    text: String,
-    line: u32,
-    col: u32,
-    ident: bool,
-}
-
-#[derive(Clone, Debug)]
-struct Suppression {
-    codes: Vec<String>,
-    justified: bool,
-    line: u32,
-    col: u32,
-}
-
-struct Lexed {
-    tokens: Vec<Tok>,
-    suppressions: Vec<Suppression>,
-}
-
-/// Strip comments/strings/chars, collect identifier and punctuation
-/// tokens with positions, and harvest `octolint: allow(...)` directives
-/// from line comments.
-fn lex(source: &str) -> Lexed {
-    let b: Vec<char> = source.chars().collect();
-    let mut i = 0usize;
-    let mut line = 1u32;
-    let mut col = 1u32;
-    let mut tokens = Vec::new();
-    let mut suppressions = Vec::new();
-
-    let n = b.len();
-    macro_rules! bump {
-        ($c:expr) => {
-            if $c == '\n' {
-                line += 1;
-                col = 1;
-            } else {
-                col += 1;
-            }
-        };
-    }
-
-    while i < n {
-        let c = b[i];
-        // line comment (and suppression directive harvesting)
-        if c == '/' && i + 1 < n && b[i + 1] == '/' {
-            let start = i;
-            while i < n && b[i] != '\n' {
-                i += 1;
-            }
-            let text: String = b[start..i].iter().collect();
-            if let Some(s) = parse_suppression(&text, line, col) {
-                suppressions.push(s);
-            }
-            col += (i - start) as u32;
-            continue;
-        }
-        // block comment, nested
-        if c == '/' && i + 1 < n && b[i + 1] == '*' {
-            let mut depth = 1;
-            bump!('/');
-            bump!('*');
-            i += 2;
-            while i < n && depth > 0 {
-                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
-                    depth += 1;
-                    bump!('/');
-                    bump!('*');
-                    i += 2;
-                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
-                    depth -= 1;
-                    bump!('*');
-                    bump!('/');
-                    i += 2;
-                } else {
-                    bump!(b[i]);
-                    i += 1;
+    /// Render the report as the stable machine-readable JSON schema:
+    /// top-level `schema`/`files_scanned`/`violations`/`suppressed`
+    /// counters plus a `diagnostics` array of
+    /// `{path, line, col, code, rule, message, suppressed}` objects,
+    /// sorted by (path, line, col, code) with audited (suppressed)
+    /// entries merged in. Timings are deliberately excluded so the CI
+    /// artifact diffs cleanly across runs.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
                 }
             }
-            continue;
+            out
         }
-        // raw strings r"..." / r#"..."# (and br variants via the ident path)
-        if c == 'r' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') {
-            let mut j = i + 1;
-            let mut hashes = 0usize;
-            while j < n && b[j] == '#' {
-                hashes += 1;
-                j += 1;
+        let mut entries: Vec<(&Diagnostic, bool)> = self
+            .diagnostics
+            .iter()
+            .map(|d| (d, false))
+            .chain(self.audited.iter().map(|d| (d, true)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(&b.1)));
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"violations\": {},\n", self.diagnostics.len()));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str("  \"diagnostics\": [");
+        for (i, (d, suppressed)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
             }
-            if j < n && b[j] == '"' {
-                // consume r##"  ...  "##
-                while i <= j {
-                    bump!(b[i]);
-                    i += 1;
-                }
-                'raw: while i < n {
-                    if b[i] == '"' {
-                        let mut k = 0usize;
-                        while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
-                            k += 1;
-                        }
-                        if k == hashes {
-                            for _ in 0..=hashes {
-                                if i < n {
-                                    bump!(b[i]);
-                                    i += 1;
-                                }
-                            }
-                            break 'raw;
-                        }
-                    }
-                    bump!(b[i]);
-                    i += 1;
-                }
-                continue;
-            }
-            // plain identifier starting with r — fall through
+            out.push_str(&format!(
+                "\n    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"code\": \"{}\", \
+                 \"rule\": \"{}\", \"message\": \"{}\", \"suppressed\": {}}}",
+                esc(&d.path),
+                d.line,
+                d.col,
+                d.code,
+                d.rule,
+                esc(&d.message),
+                suppressed
+            ));
         }
-        // string literal (also reached after a b/br prefix ident)
-        if c == '"' {
-            bump!('"');
-            i += 1;
-            while i < n {
-                if b[i] == '\\' && i + 1 < n {
-                    bump!(b[i]);
-                    bump!(b[i + 1]);
-                    i += 2;
-                    continue;
-                }
-                let done = b[i] == '"';
-                bump!(b[i]);
-                i += 1;
-                if done {
-                    break;
-                }
-            }
-            continue;
+        if !entries.is_empty() {
+            out.push_str("\n  ");
         }
-        // char literal vs lifetime: 'x' / '\n' vs 'a in generics
-        if c == '\'' {
-            let is_lifetime = i + 1 < n
-                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
-                && !(i + 2 < n && b[i + 2] == '\'');
-            if is_lifetime {
-                bump!('\'');
-                i += 1; // skip the quote; the label lexes as an ident
-                continue;
-            }
-            bump!('\'');
-            i += 1;
-            while i < n {
-                if b[i] == '\\' && i + 1 < n {
-                    bump!(b[i]);
-                    bump!(b[i + 1]);
-                    i += 2;
-                    continue;
-                }
-                let done = b[i] == '\'';
-                bump!(b[i]);
-                i += 1;
-                if done {
-                    break;
-                }
-            }
-            continue;
-        }
-        // identifier / number
-        if c.is_alphanumeric() || c == '_' {
-            let (tl, tc) = (line, col);
-            let start = i;
-            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
-                bump!(b[i]);
-                i += 1;
-            }
-            tokens.push(Tok {
-                text: b[start..i].iter().collect(),
-                line: tl,
-                col: tc,
-                ident: c.is_alphabetic() || c == '_',
-            });
-            continue;
-        }
-        // whitespace
-        if c.is_whitespace() {
-            bump!(c);
-            i += 1;
-            continue;
-        }
-        // single-char punctuation token
-        tokens.push(Tok {
-            text: c.to_string(),
-            line,
-            col,
-            ident: false,
-        });
-        bump!(c);
-        i += 1;
-    }
-
-    Lexed {
-        tokens: strip_attrs_and_uses(tokens),
-        suppressions,
+        out.push_str("]\n}\n");
+        out
     }
 }
 
-/// Parse `// octolint: allow(OCT-LINT-001[, ...]) -- justification`.
-fn parse_suppression(comment: &str, line: u32, col: u32) -> Option<Suppression> {
-    let rest = comment.trim_start_matches('/').trim_start();
-    let rest = rest.strip_prefix("octolint:")?.trim_start();
-    let rest = rest.strip_prefix("allow")?.trim_start();
-    let rest = rest.strip_prefix('(')?;
-    let (codes_part, tail) = rest.split_once(')')?;
-    let codes: Vec<String> = codes_part
-        .split(',')
-        .map(|c| c.trim().to_string())
-        .filter(|c| !c.is_empty())
-        .collect();
-    let justified = tail
-        .trim_start()
-        .strip_prefix("--")
-        .is_some_and(|j| !j.trim().is_empty());
-    Some(Suppression {
-        codes,
-        justified,
-        line,
-        col,
-    })
+/// The one sanctioned wall-clock read in this crate: `--timing`
+/// measures the analyzer's own rule cost, which never feeds engine
+/// state. Dogfoods the suppression audit — remove the allow and
+/// octolint flags itself.
+#[allow(clippy::disallowed_methods)]
+fn tick() -> std::time::Instant {
+    std::time::Instant::now() // octolint: allow(OCT-LINT-002) -- measures octolint's own --timing rule cost; never engine state
 }
 
-/// Drop attribute contents (`#[...]` / `#![...]`) and `use` declaration
-/// bodies from the token stream: neither constitutes a *use* of a
-/// disallowed construct.
-fn strip_attrs_and_uses(tokens: Vec<Tok>) -> Vec<Tok> {
-    let mut out = Vec::with_capacity(tokens.len());
-    let mut i = 0usize;
-    let mut in_use = false;
-    while i < tokens.len() {
-        let t = &tokens[i];
-        if in_use {
-            if t.text == ";" {
-                in_use = false;
-            }
-            i += 1;
-            continue;
-        }
-        if t.text == "#" {
-            let bracket = match tokens.get(i + 1) {
-                Some(t1) if t1.text == "[" => Some(i + 1),
-                Some(t1) if t1.text == "!" => match tokens.get(i + 2) {
-                    Some(t2) if t2.text == "[" => Some(i + 2),
-                    _ => None,
-                },
-                _ => None,
-            };
-            if let Some(open) = bracket {
-                let mut depth = 0i32;
-                let mut j = open;
-                while j < tokens.len() {
-                    match tokens[j].text.as_str() {
-                        "[" => depth += 1,
-                        "]" => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                    j += 1;
-                }
-                i = j + 1;
-                continue;
-            }
-        }
-        if t.ident && t.text == "use" {
-            in_use = true;
-            i += 1;
-            continue;
-        }
-        out.push(tokens[i].clone());
-        i += 1;
+// ---------------------------------------------------------------------------
+// Single-pass engine
+// ---------------------------------------------------------------------------
+
+/// The shared per-file analysis product: lexed once, parsed once, then
+/// handed to every rule family.
+struct FileAnalysis {
+    rel: String,
+    lexed: Lexed,
+    parsed: parser::ParsedFile,
+}
+
+fn analyze(rel: &str, source: &str, timings: &mut Timings) -> FileAnalysis {
+    let t0 = tick();
+    let lexed = lexer::lex(source);
+    timings.add("lex", t0.elapsed());
+    let t1 = tick();
+    let parsed = parser::parse(&lexed.tokens);
+    timings.add("parse", t1.elapsed());
+    FileAnalysis {
+        rel: rel.to_string(),
+        lexed,
+        parsed,
     }
-    out
 }
 
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-fn has_prefix(path: &str, prefixes: &[&str]) -> bool {
-    prefixes.iter().any(|p| path.starts_with(p))
-}
-
-fn rule_by_code(code: &str) -> Option<&'static Rule> {
-    RULES.iter().find(|r| r.code == code)
-}
-
-/// Does `tokens[i..]` spell out `pat` (each entry one token)?
-fn seq(tokens: &[Tok], i: usize, pat: &[&str]) -> bool {
-    pat.len() <= tokens.len() - i && pat.iter().zip(&tokens[i..]).all(|(p, t)| t.text == *p)
-}
-
-/// Candidate violation before suppression filtering.
-struct Candidate {
-    line: u32,
-    col: u32,
-    code: &'static str,
-    message: String,
-}
-
-fn check_tokens(rel_path: &str, tokens: &[Tok]) -> Vec<Candidate> {
-    let engine = has_prefix(rel_path, ENGINE_SRC);
-    let mut out: Vec<Candidate> = Vec::new();
-    let mut seen: BTreeSet<(u32, &'static str)> = BTreeSet::new();
-    let mut push = |line: u32, col: u32, code: &'static str, message: String| {
-        // one diagnostic per (line, rule): `HashMap::new()` is one
-        // hazard, not two
-        if seen.insert((line, code)) {
-            out.push(Candidate {
-                line,
-                col,
-                code,
-                message,
-            });
-        }
+/// Per-file rule families (002–008) plus parse-integrity candidates.
+/// 009 is cross-file and runs per crate group.
+fn file_candidates(fa: &FileAnalysis, timings: &mut Timings) -> Vec<Candidate> {
+    let ctx = FileCtx {
+        rel: &fa.rel,
+        toks: &fa.lexed.tokens,
+        parsed: &fa.parsed,
     };
-
-    for (i, t) in tokens.iter().enumerate() {
-        if !t.ident {
-            continue;
-        }
-        match t.text.as_str() {
-            // OCT-LINT-001 — nondeterministic iteration hazard
-            "HashMap" | "HashSet" if engine => push(
-                t.line,
-                t.col,
-                "OCT-LINT-001",
-                format!(
-                    "`{}` in an engine crate: iteration order is seeded per process and \
-                     breaks byte-identical replay; use `BTree{}` or justify a \
-                     keyed-access-only exception",
-                    t.text,
-                    if t.text == "HashMap" { "Map" } else { "Set" },
-                ),
+    let mut out = Vec::new();
+    for (line, col, msg) in &fa.parsed.errors {
+        out.push(Candidate {
+            line: *line,
+            col: *col,
+            code: "OCT-LINT-000",
+            message: format!(
+                "octolint could not parse this file ({msg}): a parse failure is a lint \
+                 error, never a silent skip — simplify the construct or extend the parser"
             ),
-            // OCT-LINT-002 — wall-clock reads
-            "Instant"
-                if seq(tokens, i, &["Instant", ":", ":", "now"])
-                    && !has_prefix(rel_path, WALL_CLOCK_EXEMPT) =>
-            {
-                push(
-                    t.line,
-                    t.col,
-                    "OCT-LINT-002",
-                    "`Instant::now` outside crates/bench: simulated time must come \
-                     from the event queue (`ctx.now()` / `SimTime`)"
-                        .to_string(),
-                );
-            }
-            "SystemTime" | "UNIX_EPOCH" if !has_prefix(rel_path, WALL_CLOCK_EXEMPT) => {
-                push(
-                    t.line,
-                    t.col,
-                    "OCT-LINT-002",
-                    format!(
-                        "`{}` outside crates/bench: wall-clock reads make replay \
-                         depend on when the run happened",
-                        t.text
-                    ),
-                );
-            }
-            // OCT-LINT-003 — ambient randomness
-            "thread_rng" | "from_entropy" | "OsRng" => push(
-                t.line,
-                t.col,
-                "OCT-LINT-003",
-                format!(
-                    "`{}` draws ambient entropy: every RNG must derive from the master \
-                     seed via `derive_rng`/`split_seed`",
-                    t.text
-                ),
-            ),
-            "rand" if seq(tokens, i, &["rand", ":", ":", "random"]) => push(
-                t.line,
-                t.col,
-                "OCT-LINT-003",
-                "`rand::random` draws from the ambient thread RNG: derive a seeded \
-                 stream via `derive_rng`/`split_seed`"
-                    .to_string(),
-            ),
-            // OCT-LINT-004 — thread-identity leakage
-            "available_parallelism" | "ThreadId" if !THREAD_IDENTITY_EXEMPT.contains(&rel_path) => {
-                push(
-                    t.line,
-                    t.col,
-                    "OCT-LINT-004",
-                    format!(
-                        "`{}` outside TrialRunner/RunArgs: results must not depend \
-                         on how many threads the host offers",
-                        t.text
-                    ),
-                );
-            }
-            "thread"
-                if seq(tokens, i, &["thread", ":", ":", "current"])
-                    && !THREAD_IDENTITY_EXEMPT.contains(&rel_path) =>
-            {
-                push(
-                    t.line,
-                    t.col,
-                    "OCT-LINT-004",
-                    "`thread::current` leaks thread identity into engine state".to_string(),
-                );
-            }
-            // OCT-LINT-005 — shard-unsafe shared mutation:
-            // `<...adversary...>.write(` or `.update(` (the sharded
-            // directory's all-replica merge is driver-only)
-            "write" | "update"
-                if engine
-                    && !SHARD_WRITE_EXEMPT.contains(&rel_path)
-                    && i > 0
-                    && tokens[i - 1].text == "."
-                    && tokens.get(i + 1).is_some_and(|t| t.text == "(") =>
-            {
-                // back-scan the expression for the adversary directory
-                let from = i.saturating_sub(16);
-                let stmt_start = tokens[from..i]
-                    .iter()
-                    .rposition(|t| matches!(t.text.as_str(), ";" | "{" | "}"))
-                    .map_or(from, |p| from + p + 1);
-                const ADVERSARY_IDENTS: &[&str] = &[
-                    "adversary",
-                    "SharedAdversary",
-                    "ShardedAdversary",
-                    "AdversaryHandle",
-                ];
-                if tokens[stmt_start..i]
-                    .iter()
-                    .any(|t| t.ident && ADVERSARY_IDENTS.contains(&t.text.as_str()))
-                {
-                    push(
-                        t.line,
-                        t.col,
-                        "OCT-LINT-005",
-                        format!(
-                            "`.{}()` on the sharded adversary directory outside a driver \
-                             module: shard threads may only read their replica; mutate \
-                             between windows from the driver",
-                            t.text
-                        ),
-                    );
-                }
-            }
-            _ => {}
-        }
+        });
     }
+    let t = tick();
+    rules::token_rules::check(&ctx, &mut out);
+    timings.add("rules/002-005 tokens", t.elapsed());
+    let t = tick();
+    rules::dataflow::check(&ctx, &mut out);
+    timings.add("rules/006 unordered-flow", t.elapsed());
+    let t = tick();
+    rules::float_merge::check(&ctx, &mut out);
+    timings.add("rules/007 float-merge", t.elapsed());
+    let t = tick();
+    rules::guards::check(&ctx, &mut out);
+    timings.add("rules/008 guard-discipline", t.elapsed());
     out
 }
 
-// ---------------------------------------------------------------------------
-// Suppression filtering
-// ---------------------------------------------------------------------------
+/// Suppression filtering: match candidates to same-line allows, audit
+/// the allows themselves, dedup per (line, code), sort.
+fn finalize(
+    rel: &str,
+    suppressions: &[Suppression],
+    mut candidates: Vec<Candidate>,
+    timings: &mut Timings,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let t = tick();
+    // one diagnostic per (line, rule): `map.keys()...fold(..)` on one
+    // line is one hazard, not two
+    candidates.sort_by_key(|c| (c.line, c.code, c.col));
+    let mut seen: BTreeSet<(u32, &'static str)> = BTreeSet::new();
+    candidates.retain(|c| seen.insert((c.line, c.code)));
 
-/// Lint one file's source under its workspace-relative path.
-///
-/// Suppression semantics: a justified `// octolint: allow(CODE) -- why`
-/// on the offending line silences that rule there; an unjustified,
-/// unknown-rule, or never-firing suppression is reported as
-/// `OCT-LINT-000`.
-#[must_use]
-pub fn lint_source(rel_path: &str, source: &str) -> Report {
-    let Lexed {
-        tokens,
-        suppressions,
-    } = lex(source);
-    let candidates = check_tokens(rel_path, &tokens);
-
-    // line -> suppression index, for matching candidates to allows
     let by_line: BTreeMap<u32, usize> = suppressions
         .iter()
         .enumerate()
@@ -662,7 +375,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Report {
         .collect();
     let mut used = vec![false; suppressions.len()];
     let mut diagnostics = Vec::new();
-    let mut suppressed = 0usize;
+    let mut audited = Vec::new();
 
     for c in candidates {
         let covering = by_line
@@ -672,15 +385,23 @@ pub fn lint_source(rel_path: &str, source: &str) -> Report {
         match covering {
             Some(idx) => {
                 used[idx] = true;
+                let rule = rule_by_code(c.code).expect("candidate codes come from RULES");
                 if suppressions[idx].justified {
-                    suppressed += 1;
+                    audited.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: c.line,
+                        col: c.col,
+                        code: c.code,
+                        rule: rule.name,
+                        message: c.message,
+                    });
                 } else {
                     diagnostics.push(Diagnostic {
-                        path: rel_path.to_string(),
+                        path: rel.to_string(),
                         line: c.line,
                         col: c.col,
                         code: "OCT-LINT-000",
-                        rule: "suppression-audit",
+                        rule: "analyzer-integrity",
                         message: format!(
                             "suppression of {} lacks a justification: write \
                              `octolint: allow({}) -- <why this site is safe>`",
@@ -692,7 +413,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Report {
             None => {
                 let rule = rule_by_code(c.code).expect("candidate codes come from RULES");
                 diagnostics.push(Diagnostic {
-                    path: rel_path.to_string(),
+                    path: rel.to_string(),
                     line: c.line,
                     col: c.col,
                     code: c.code,
@@ -705,25 +426,45 @@ pub fn lint_source(rel_path: &str, source: &str) -> Report {
 
     // audit the suppressions themselves
     for (idx, s) in suppressions.iter().enumerate() {
+        let mut names_ok = true;
         for code in &s.codes {
-            if rule_by_code(code).is_none() {
-                diagnostics.push(Diagnostic {
-                    path: rel_path.to_string(),
-                    line: s.line,
-                    col: s.col,
-                    code: "OCT-LINT-000",
-                    rule: "suppression-audit",
-                    message: format!("suppression names unknown rule `{code}`"),
-                });
+            match rule_by_code(code) {
+                None => {
+                    names_ok = false;
+                    diagnostics.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: s.line,
+                        col: s.col,
+                        code: "OCT-LINT-000",
+                        rule: "analyzer-integrity",
+                        message: format!("suppression names unknown rule `{code}`"),
+                    });
+                }
+                Some(rule) if rule.retired => {
+                    names_ok = false;
+                    diagnostics.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: s.line,
+                        col: s.col,
+                        code: "OCT-LINT-000",
+                        rule: "analyzer-integrity",
+                        message: format!(
+                            "suppression names retired rule `{code}`: {} — migrate or \
+                             remove the allow",
+                            rule.summary
+                        ),
+                    });
+                }
+                Some(_) => {}
             }
         }
-        if !used[idx] && s.codes.iter().all(|c| rule_by_code(c).is_some()) {
+        if !used[idx] && names_ok {
             diagnostics.push(Diagnostic {
-                path: rel_path.to_string(),
+                path: rel.to_string(),
                 line: s.line,
                 col: s.col,
                 code: "OCT-LINT-000",
-                rule: "suppression-audit",
+                rule: "analyzer-integrity",
                 message: format!(
                     "suppression of {} never fires on this line: remove it or move it \
                      to the offending line",
@@ -734,11 +475,55 @@ pub fn lint_source(rel_path: &str, source: &str) -> Report {
     }
 
     diagnostics.sort();
-    Report {
-        diagnostics,
-        files_scanned: 1,
-        suppressed,
+    audited.sort();
+    timings.add("suppression-audit", t.elapsed());
+    (diagnostics, audited)
+}
+
+/// Lint one file's source under its workspace-relative path.
+///
+/// The file is treated as its own crate for the cross-file rule
+/// `OCT-LINT-009` (intra-file call graph), which is exactly right for
+/// fixtures and single-file checks.
+///
+/// Suppression semantics: a justified `// octolint: allow(CODE) -- why`
+/// on the offending line silences that rule there; an unjustified,
+/// unknown-rule, retired-rule, or never-firing suppression is reported
+/// as `OCT-LINT-000`.
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str) -> Report {
+    let mut timings = Timings::default();
+    let fa = analyze(rel_path, source, &mut timings);
+    let mut candidates = file_candidates(&fa, &mut timings);
+    let t = tick();
+    let ctx = FileCtx {
+        rel: &fa.rel,
+        toks: &fa.lexed.tokens,
+        parsed: &fa.parsed,
+    };
+    for (_, c) in rules::barrier::check_crate(std::slice::from_ref(&ctx)) {
+        candidates.push(c);
     }
+    timings.add("rules/009 barrier-panic-path", t.elapsed());
+    let (diagnostics, audited) =
+        finalize(rel_path, &fa.lexed.suppressions, candidates, &mut timings);
+    Report {
+        suppressed: audited.len(),
+        diagnostics,
+        audited,
+        files_scanned: 1,
+        timings,
+    }
+}
+
+/// Debug view of the statement tree (the parser-torture contract):
+/// `fn name [pub] [impl:Trait]` lines followed by indented
+/// `let/for/cond-let/expr` statement lines, then any parse errors.
+#[must_use]
+pub fn parse_debug(source: &str) -> String {
+    let lexed = lexer::lex(source);
+    let parsed = parser::parse(&lexed.tokens);
+    parser::debug_tree(&parsed)
 }
 
 // ---------------------------------------------------------------------------
@@ -800,24 +585,73 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Crate-group key for the cross-file rule: `crates/X/src/*` files
+/// analyze together; everything else groups by its top-level dir.
+fn crate_group(rel: &str) -> Option<String> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.strip_prefix("src/").map(|_| format!("crates/{name}"))
+}
+
 /// Lint the whole workspace rooted at `root`.
+///
+/// Every file is lexed and parsed exactly once; the per-file rule
+/// families consume the shared product, then `OCT-LINT-009` runs once
+/// per crate group over the retained analyses.
 ///
 /// # Errors
 /// Propagates IO errors from walking or reading sources (the CLI maps
 /// those to exit code 2).
 pub fn lint_tree(root: &Path) -> std::io::Result<Report> {
     let mut report = Report::default();
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
+    let mut candidates: Vec<Vec<Candidate>> = Vec::new();
     for rel in scan_paths(root)? {
         let source = std::fs::read_to_string(root.join(&rel))?;
         let rel_str = rel
             .to_string_lossy()
             .replace(std::path::MAIN_SEPARATOR, "/");
-        let file = lint_source(&rel_str, &source);
-        report.diagnostics.extend(file.diagnostics);
+        let fa = analyze(&rel_str, &source, &mut report.timings);
+        let cands = file_candidates(&fa, &mut report.timings);
+        analyses.push(fa);
+        candidates.push(cands);
         report.files_scanned += 1;
-        report.suppressed += file.suppressed;
+    }
+
+    // cross-file: OCT-LINT-009 per crate group
+    let t = tick();
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (idx, fa) in analyses.iter().enumerate() {
+        if let Some(key) = crate_group(&fa.rel) {
+            groups.entry(key).or_default().push(idx);
+        }
+    }
+    for members in groups.values() {
+        let ctxs: Vec<FileCtx<'_>> = members
+            .iter()
+            .map(|&i| FileCtx {
+                rel: &analyses[i].rel,
+                toks: &analyses[i].lexed.tokens,
+                parsed: &analyses[i].parsed,
+            })
+            .collect();
+        for (local_idx, c) in rules::barrier::check_crate(&ctxs) {
+            candidates[members[local_idx]].push(c);
+        }
+    }
+    report
+        .timings
+        .add("rules/009 barrier-panic-path", t.elapsed());
+
+    for (fa, cands) in analyses.iter().zip(candidates) {
+        let (diagnostics, audited) =
+            finalize(&fa.rel, &fa.lexed.suppressions, cands, &mut report.timings);
+        report.diagnostics.extend(diagnostics);
+        report.suppressed += audited.len();
+        report.audited.extend(audited);
     }
     report.diagnostics.sort();
+    report.audited.sort();
     Ok(report)
 }
 
@@ -847,39 +681,120 @@ mod tests {
     #[test]
     fn lifetimes_do_not_derail_the_lexer() {
         let src = "fn f<'a>(x: &'a str) -> &'a str { let c = '\\''; let _ = c; x }\n\
-                   fn g() { let m = std::collections::HashMap::<u8, u8>::new(); let _ = m; }\n";
+                   fn g(out: &mut Vec<u8>) {\n\
+                       let m = std::collections::HashMap::<u8, u8>::new();\n\
+                       for k in m.keys() { out.push(*k); }\n\
+                   }\n";
         let rep = lint_source("crates/net/src/fake.rs", src);
-        assert_eq!(rep.diagnostics.len(), 1);
-        assert_eq!(rep.diagnostics[0].code, "OCT-LINT-001");
-        assert_eq!(rep.diagnostics[0].line, 2);
+        assert_eq!(rep.diagnostics.len(), 1, "{:#?}", rep.diagnostics);
+        assert_eq!(rep.diagnostics[0].code, "OCT-LINT-006");
+        assert_eq!(rep.diagnostics[0].line, 4);
     }
 
     #[test]
     fn engine_scope_is_path_based() {
-        let src = "fn f() { let m = HashMap::new(); let _ = m; }";
+        let src = "fn f(out: &mut Vec<u8>) {\n\
+                       let m = std::collections::HashMap::<u8, u8>::new();\n\
+                       for k in m.keys() { out.push(*k); }\n\
+                   }\n";
         assert!(!lint_source("crates/sim/src/x.rs", src).is_clean());
         assert!(lint_source("crates/crypto/src/x.rs", src).is_clean());
         assert!(lint_source("crates/sim/tests/x.rs", src).is_clean());
     }
 
     #[test]
-    fn suppression_must_be_justified_and_fire() {
-        let ok = "fn f() { let m = HashMap::new(); let _ = m; } \
-                  // octolint: allow(OCT-LINT-001) -- demo";
-        let rep = lint_source("crates/sim/src/x.rs", ok);
-        assert!(rep.is_clean());
-        assert_eq!(rep.suppressed, 1);
+    fn keyed_access_no_longer_needs_an_allow() {
+        // the exact shape the retired OCT-LINT-001 forced allows for
+        let src = "fn f(m: &std::collections::HashMap<u32, u32>, k: u32) -> Option<u32> {\n\
+                       m.get(&k).copied()\n\
+                   }\n";
+        let rep = lint_source("crates/net/src/x.rs", src);
+        assert!(rep.is_clean(), "{:#?}", rep.diagnostics);
+    }
 
-        let bare = "fn f() { let m = HashMap::new(); let _ = m; } \
-                    // octolint: allow(OCT-LINT-001)";
+    #[test]
+    fn suppression_must_be_justified_and_fire() {
+        let ok = "fn f(out: &mut Vec<u8>) {\n\
+                      let m = std::collections::HashMap::<u8, u8>::new();\n\
+                      for k in m.keys() { out.push(*k); } // octolint: allow(OCT-LINT-006) -- demo\n\
+                  }\n";
+        let rep = lint_source("crates/sim/src/x.rs", ok);
+        assert!(rep.is_clean(), "{:#?}", rep.diagnostics);
+        assert_eq!(rep.suppressed, 1);
+        assert_eq!(rep.audited.len(), 1);
+        assert_eq!(rep.audited[0].code, "OCT-LINT-006");
+
+        let bare = "fn f(out: &mut Vec<u8>) {\n\
+                        let m = std::collections::HashMap::<u8, u8>::new();\n\
+                        for k in m.keys() { out.push(*k); } // octolint: allow(OCT-LINT-006)\n\
+                    }\n";
         let rep = lint_source("crates/sim/src/x.rs", bare);
         assert_eq!(rep.diagnostics.len(), 1);
         assert_eq!(rep.diagnostics[0].code, "OCT-LINT-000");
 
-        let unused = "fn f() {} // octolint: allow(OCT-LINT-001) -- nothing here";
+        let unused = "fn f() {} // octolint: allow(OCT-LINT-006) -- nothing here";
         let rep = lint_source("crates/sim/src/x.rs", unused);
         assert_eq!(rep.diagnostics.len(), 1);
         assert_eq!(rep.diagnostics[0].code, "OCT-LINT-000");
+    }
+
+    #[test]
+    fn retired_rule_allows_are_flagged() {
+        let src = "fn f() {} // octolint: allow(OCT-LINT-001) -- legacy keyed-access allow";
+        let rep = lint_source("crates/sim/src/x.rs", src);
+        assert_eq!(rep.diagnostics.len(), 1, "{:#?}", rep.diagnostics);
+        assert_eq!(rep.diagnostics[0].code, "OCT-LINT-000");
+        assert!(
+            rep.diagnostics[0].message.contains("retired"),
+            "{}",
+            rep.diagnostics[0].message
+        );
+    }
+
+    #[test]
+    fn parse_failure_is_a_violation_not_a_skip() {
+        let src = "fn f() { let x = 1;\n"; // unbalanced brace
+        let rep = lint_source("crates/sim/src/x.rs", src);
+        assert!(
+            rep.diagnostics.iter().any(|d| d.code == "OCT-LINT-000"),
+            "{:#?}",
+            rep.diagnostics
+        );
+    }
+
+    #[test]
+    fn json_schema_is_stable_and_escaped() {
+        let src = "fn f(out: &mut Vec<u8>) {\n\
+                       let m = std::collections::HashMap::<u8, u8>::new();\n\
+                       for k in m.keys() { out.push(*k); }\n\
+                   }\n";
+        let rep = lint_source("crates/sim/src/json \"quote\".rs", src);
+        let json = rep.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"code\": \"OCT-LINT-006\""));
+        assert!(json.contains("json \\\"quote\\\".rs"));
+        assert!(json.contains("\"suppressed\": false"));
+    }
+
+    #[test]
+    fn timings_cover_every_rule_family() {
+        let rep = lint_source("crates/sim/src/x.rs", "fn f() {}\n");
+        for phase in [
+            "lex",
+            "parse",
+            "rules/002-005 tokens",
+            "rules/006 unordered-flow",
+            "rules/007 float-merge",
+            "rules/008 guard-discipline",
+            "rules/009 barrier-panic-path",
+            "suppression-audit",
+        ] {
+            assert!(
+                rep.timings.phases.contains_key(phase),
+                "missing phase {phase}: {:?}",
+                rep.timings.phases.keys().collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]
@@ -893,8 +808,14 @@ mod tests {
                 "OCT-LINT-002",
                 "OCT-LINT-003",
                 "OCT-LINT-004",
-                "OCT-LINT-005"
+                "OCT-LINT-005",
+                "OCT-LINT-006",
+                "OCT-LINT-007",
+                "OCT-LINT-008",
+                "OCT-LINT-009",
             ]
         );
+        let retired: Vec<&str> = RULES.iter().filter(|r| r.retired).map(|r| r.code).collect();
+        assert_eq!(retired, ["OCT-LINT-001"], "codes are never reused");
     }
 }

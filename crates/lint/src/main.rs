@@ -1,6 +1,7 @@
 //! `octolint` CLI — run the determinism-contract pass over the tree.
 //!
 //!     cargo run -p octopus-lint -- [--root <dir>] [--quiet] [--list-rules]
+//!                                  [--format text|json] [--timing]
 //!
 //! Exit codes are script-friendly (the CI gate relies on them):
 //! 0 clean, 1 violations found, 2 usage or IO error.
@@ -8,18 +9,25 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: octolint [--root <dir>] [--quiet] [--list-rules]
-  --root <dir>   workspace root to scan (default: current directory)
-  --quiet        print only the diagnostics, no banner or summary
-  --list-rules   print the rule table and exit";
+const USAGE: &str =
+    "usage: octolint [--root <dir>] [--quiet] [--list-rules] [--format text|json] [--timing]
+  --root <dir>    workspace root to scan (default: current directory)
+  --quiet         print only the diagnostics, no banner or summary
+  --list-rules    print the rule table and exit
+  --format <fmt>  output format: text (default) or json (stable schema,
+                  includes audited suppressions)
+  --timing        print per-phase wall time of the analyzer itself";
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut quiet = false;
+    let mut timing = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quiet" | "-q" => quiet = true,
+            "--timing" => timing = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -27,9 +35,21 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                other => {
+                    eprintln!(
+                        "octolint: --format needs `text` or `json`, got {:?}\n{USAGE}",
+                        other.unwrap_or("<none>")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--list-rules" => {
                 for rule in octopus_lint::RULES {
-                    println!("{} [{}]\n    {}", rule.code, rule.name, rule.summary);
+                    let tag = if rule.retired { " (retired)" } else { "" };
+                    println!("{} [{}]{tag}\n    {}", rule.code, rule.name, rule.summary);
                 }
                 return ExitCode::SUCCESS;
             }
@@ -52,16 +72,28 @@ fn main() -> ExitCode {
         }
     };
 
-    for d in &report.diagnostics {
-        println!("{d}");
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        if !quiet {
+            println!(
+                "octolint: {} violation(s), {} suppressed, {} file(s) scanned",
+                report.diagnostics.len(),
+                report.suppressed,
+                report.files_scanned
+            );
+        }
     }
-    if !quiet {
-        println!(
-            "octolint: {} violation(s), {} suppressed, {} file(s) scanned",
-            report.diagnostics.len(),
-            report.suppressed,
-            report.files_scanned
-        );
+    if timing {
+        for (phase, d) in &report.timings.phases {
+            eprintln!(
+                "octolint: timing {phase:<28} {:>9.3} ms",
+                d.as_secs_f64() * 1e3
+            );
+        }
     }
     if report.is_clean() {
         ExitCode::SUCCESS

@@ -1,0 +1,845 @@
+//! A lightweight, resilient statement-tree parser over the lexer's
+//! token stream.
+//!
+//! This is not a Rust grammar: it recognizes exactly the structure the
+//! dataflow rules need — items (`fn`/`impl`/`struct`/`trait`/`mod`),
+//! per-function statement lists with `let`/`for`/`if let`/`while let`
+//! bindings, and nested blocks — and treats everything else as opaque
+//! expression statements. Two properties are load-bearing:
+//!
+//! 1. **Totality.** The parser never panics and always terminates; a
+//!    construct it cannot structure degrades to an opaque statement.
+//!    Genuinely unbalanced files produce [`ParsedFile::errors`], which
+//!    the engine reports as violations — a parse failure is a lint
+//!    error, never a silent skip.
+//! 2. **Spans.** Every statement records its head-token range (the
+//!    statement text excluding sub-block bodies) into the shared token
+//!    stream, so rules pattern-match tokens without re-lexing.
+//!
+//! Angle brackets are tracked as delimiters only in type-ish positions
+//! (struct fields, parameter lists, annotations, item headers); in
+//! statement positions `<`/`>` are comparison operators and ignored.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::Tok;
+
+/// Structured view of one source file.
+#[derive(Debug, Default)]
+pub(crate) struct ParsedFile {
+    pub(crate) fns: Vec<FnDef>,
+    /// Named struct fields whose declared type mentions `f32`/`f64`.
+    pub(crate) float_fields: BTreeSet<String>,
+    /// Named struct fields whose declared type mentions `HashMap`/`HashSet`.
+    pub(crate) hash_fields: BTreeSet<String>,
+    /// Structural failures: (line, col, message). Non-empty means the
+    /// file could not be fully analyzed.
+    pub(crate) errors: Vec<(u32, u32, String)>,
+}
+
+/// One function (or method) definition with a parsed body.
+#[derive(Debug)]
+pub(crate) struct FnDef {
+    pub(crate) name: String,
+    pub(crate) is_pub: bool,
+    /// Trait name when defined inside `impl Trait for Type { .. }`.
+    pub(crate) impl_trait: Option<String>,
+    pub(crate) line: u32,
+    /// Parameter names whose declared type mentions `f32`/`f64`.
+    pub(crate) float_params: BTreeSet<String>,
+    /// Parameter names whose declared type mentions `HashMap`/`HashSet`.
+    pub(crate) hash_params: BTreeSet<String>,
+    /// Defined inside an inline `mod tests` — the dataflow/concurrency
+    /// rules (006–009) skip such fns: unit-test assertions never feed
+    /// replayed engine state.
+    pub(crate) in_test_mod: bool,
+    /// Token range of the body block, braces exclusive.
+    pub(crate) body_span: (usize, usize),
+    pub(crate) body: Block,
+}
+
+/// A `{ .. }` region as a list of statements.
+#[derive(Debug, Default)]
+pub(crate) struct Block {
+    pub(crate) stmts: Vec<Stmt>,
+}
+
+/// Statement classification: only binding forms are distinguished.
+#[derive(Debug)]
+pub(crate) enum StmtKind {
+    /// `let <pat>[: ty] [= init];` — including `let .. else { .. }`.
+    Let {
+        bindings: Vec<String>,
+        /// Token range of the type annotation, if any.
+        ty: Option<(usize, usize)>,
+        /// Token range of the initializer, if any.
+        init: Option<(usize, usize)>,
+    },
+    /// `for <pat> in <iter> { .. }` — bindings scope to the body.
+    For {
+        bindings: Vec<String>,
+        iter: (usize, usize),
+    },
+    /// `if let` / `while let` header — bindings scope to the body.
+    CondLet {
+        bindings: Vec<String>,
+        expr: (usize, usize),
+    },
+    /// Anything else (expressions, items we skip, match arms, ...).
+    Expr,
+}
+
+/// One statement: classification, head-token span (excluding sub-block
+/// bodies), source position, and any nested blocks.
+#[derive(Debug)]
+pub(crate) struct Stmt {
+    pub(crate) kind: StmtKind,
+    /// Token indices of the statement head, end-exclusive. Sub-block
+    /// bodies are *not* part of the head; they are in `blocks`.
+    pub(crate) head: (usize, usize),
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+    pub(crate) blocks: Vec<Block>,
+}
+
+/// Pattern keywords and other idents that never name a binding.
+const NON_BINDING: &[&str] = &["mut", "ref", "box", "_", "self"];
+
+fn is_binding_ident(t: &Tok) -> bool {
+    t.ident
+        && !NON_BINDING.contains(&t.text.as_str())
+        && t.text.starts_with(|c: char| c.is_lowercase() || c == '_')
+}
+
+/// Harvest candidate binding names from a pattern token range.
+/// Over-approximates (struct-pattern field names are included); rules
+/// tolerate over-binding because taint still requires a tainted source.
+fn pattern_bindings(toks: &[Tok], range: (usize, usize)) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = range.0;
+    while i < range.1.min(toks.len()) {
+        let t = &toks[i];
+        // skip path segments: `Event::Timer` contributes nothing
+        if t.text == ":" && i + 1 < range.1 && toks[i + 1].text == ":" {
+            i += 2;
+            if i < range.1 && toks[i].ident {
+                i += 1; // the segment after `::` is a path, not a binding
+            }
+            continue;
+        }
+        if is_binding_ident(t) && !out.contains(&t.text) {
+            out.push(t.text.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when the type token range mentions a float scalar.
+fn tokens_mention_float(toks: &[Tok], range: (usize, usize)) -> bool {
+    toks[range.0..range.1.min(toks.len())]
+        .iter()
+        .any(|t| t.text == "f32" || t.text == "f64")
+}
+
+/// True when the type token range mentions an unordered hash container.
+fn tokens_mention_hash(toks: &[Tok], range: (usize, usize)) -> bool {
+    toks[range.0..range.1.min(toks.len())]
+        .iter()
+        .any(|t| t.text == "HashMap" || t.text == "HashSet")
+}
+
+/// Whether a depth-0 scan should treat `<`/`>` as delimiters (type
+/// positions) or as comparison operators (statement positions).
+#[derive(Clone, Copy, PartialEq)]
+enum Angles {
+    Type,
+    Expr,
+}
+
+/// The parser: a cursor over the shared token stream.
+struct Parser<'a> {
+    toks: &'a [Tok],
+    out: ParsedFile,
+    /// Nesting depth of `mod tests` regions (see [`FnDef::in_test_mod`]).
+    test_depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at(&self, i: usize) -> Option<&'a Tok> {
+        self.toks.get(i)
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn pos(&self, i: usize) -> (u32, u32) {
+        self.at(i).map(|t| (t.line, t.col)).unwrap_or((1, 1))
+    }
+
+    fn error_at(&mut self, i: usize, msg: &str) {
+        let (line, col) = self.pos(i.min(self.toks.len().saturating_sub(1)));
+        self.out.errors.push((line, col, msg.to_string()));
+    }
+
+    /// Skip a balanced `(..)`, `[..]` or `{..}` region starting at an
+    /// opening delimiter; returns the index just past the close. On an
+    /// unbalanced region, returns end-of-stream and records an error.
+    fn skip_balanced(&mut self, open: usize) -> usize {
+        let (o, c) = match self.text(open) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return open + 1,
+        };
+        let mut depth = 0i64;
+        let mut i = open;
+        while i < self.toks.len() {
+            let t = self.text(i);
+            if t == o {
+                depth += 1;
+            } else if t == c {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.error_at(open, &format!("unbalanced `{o}` — file truncated?"));
+        self.toks.len()
+    }
+
+    /// Find the next occurrence of any of `stops` at delimiter depth 0,
+    /// starting at `i`. Returns (index, which-stop) or (end, None).
+    fn find_at_depth0(
+        &self,
+        i: usize,
+        end: usize,
+        stops: &[&str],
+        angles: Angles,
+    ) -> (usize, Option<usize>) {
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        let mut brace = 0i64;
+        let mut angle = 0i64;
+        let mut j = i;
+        while j < end.min(self.toks.len()) {
+            let t = self.text(j);
+            if paren == 0 && bracket == 0 && brace == 0 && angle == 0 {
+                if let Some(k) = stops.iter().position(|s| *s == t) {
+                    return (j, Some(k));
+                }
+            }
+            match t {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" => brace += 1,
+                "}" => brace -= 1,
+                "<" if angles == Angles::Type => angle += 1,
+                // `->` never closes a generic list
+                ">" if angles == Angles::Type && j > 0 && self.text(j - 1) != "-" => {
+                    angle = (angle - 1).max(0);
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        (end.min(self.toks.len()), None)
+    }
+
+    // ----- items -------------------------------------------------------
+
+    /// Parse items in `toks[i..end]` (a file top level, `impl`/`trait`
+    /// body, or `mod` body).
+    fn parse_items(&mut self, mut i: usize, end: usize, impl_trait: Option<&str>) {
+        while i < end {
+            let next = match self.text(i) {
+                "pub" => {
+                    // `pub` / `pub(crate)` — skip visibility and any
+                    // `const`/`unsafe` qualifiers before `fn`
+                    let mut j = i + 1;
+                    if self.text(j) == "(" {
+                        j = self.skip_balanced(j);
+                    }
+                    while matches!(self.text(j), "const" | "unsafe") && self.text(j + 1) == "fn" {
+                        j += 1;
+                    }
+                    if self.text(j) == "fn" {
+                        self.parse_fn(j, end, true, impl_trait)
+                    } else {
+                        j
+                    }
+                }
+                "fn" => self.parse_fn(i, end, false, impl_trait),
+                "impl" => self.parse_impl(i, end),
+                "struct" => self.parse_struct(i, end),
+                "trait" | "mod" => {
+                    // recurse into the body so trait default methods and
+                    // inline modules are analyzed
+                    let is_tests = self.text(i) == "mod" && self.text(i + 1) == "tests";
+                    let (open, found) = self.find_at_depth0(i + 1, end, &["{", ";"], Angles::Type);
+                    if found == Some(0) {
+                        let close = self.skip_balanced(open);
+                        self.test_depth += usize::from(is_tests);
+                        self.parse_items(open + 1, close.saturating_sub(1), None);
+                        self.test_depth -= usize::from(is_tests);
+                        close
+                    } else {
+                        open + 1
+                    }
+                }
+                "enum" | "union" => {
+                    let (open, found) = self.find_at_depth0(i + 1, end, &["{", ";"], Angles::Type);
+                    if found == Some(0) {
+                        self.skip_balanced(open)
+                    } else {
+                        open + 1
+                    }
+                }
+                "macro_rules" => self.skip_macro_rules(i),
+                "const" if self.text(i + 1) == "fn" => self.parse_fn(i + 1, end, false, impl_trait),
+                "static" | "const" | "type" | "extern" => {
+                    let (semi, _) = self.find_at_depth0(i + 1, end, &[";"], Angles::Expr);
+                    semi + 1
+                }
+                "{" => self.skip_balanced(i),
+                _ => i + 1,
+            };
+            i = next.max(i + 1);
+        }
+    }
+
+    /// Skip `macro_rules! name { .. }` entirely — macro bodies are
+    /// token soup by design and never engine dataflow.
+    fn skip_macro_rules(&mut self, i: usize) -> usize {
+        let mut j = i + 1; // past `macro_rules`
+        if self.text(j) == "!" {
+            j += 1;
+        }
+        if self.at(j).is_some_and(|t| t.ident) {
+            j += 1;
+        }
+        match self.text(j) {
+            "{" | "(" | "[" => self.skip_balanced(j),
+            _ => j,
+        }
+    }
+
+    /// Parse `impl [Trait for] Type { items }`, extracting the trait
+    /// name for `Merge`-path detection.
+    fn parse_impl(&mut self, i: usize, end: usize) -> usize {
+        let (open, found) = self.find_at_depth0(i + 1, end, &["{", ";"], Angles::Type);
+        if found != Some(0) {
+            return open + 1;
+        }
+        // trait name: the last identifier before a depth-0 `for` in the
+        // header (`impl<T> Merge for Series<T>` → `Merge`)
+        let (for_pos, has_for) = self.find_at_depth0(i + 1, open, &["for"], Angles::Type);
+        let impl_trait = if has_for.is_some() {
+            self.toks[i + 1..for_pos]
+                .iter()
+                .rev()
+                .find(|t| t.ident)
+                .map(|t| t.text.clone())
+        } else {
+            None
+        };
+        let close = self.skip_balanced(open);
+        self.parse_items(open + 1, close.saturating_sub(1), impl_trait.as_deref());
+        close
+    }
+
+    /// Parse a struct item, recording float/hash typed named fields.
+    fn parse_struct(&mut self, i: usize, end: usize) -> usize {
+        let (open, found) = self.find_at_depth0(i + 1, end, &["{", "(", ";"], Angles::Type);
+        match found {
+            Some(0) => {
+                let close = self.skip_balanced(open);
+                // fields: `[pub] name : TYPE` split on depth-0 commas
+                let mut f = open + 1;
+                let body_end = close.saturating_sub(1);
+                while f < body_end {
+                    let (comma, _) = self.find_at_depth0(f, body_end, &[","], Angles::Type);
+                    let (colon, has_colon) = self.find_at_depth0(f, comma, &[":"], Angles::Type);
+                    if has_colon.is_some() {
+                        let name = self.toks[f..colon]
+                            .iter()
+                            .rev()
+                            .find(|t| t.ident && t.text != "pub" && t.text != "crate");
+                        if let Some(name) = name {
+                            if tokens_mention_float(self.toks, (colon + 1, comma)) {
+                                self.out.float_fields.insert(name.text.clone());
+                            }
+                            if tokens_mention_hash(self.toks, (colon + 1, comma)) {
+                                self.out.hash_fields.insert(name.text.clone());
+                            }
+                        }
+                    }
+                    f = comma + 1;
+                }
+                close
+            }
+            Some(1) => self.skip_balanced(open), // tuple struct
+            _ => open + 1,                       // unit struct
+        }
+    }
+
+    /// Parse `fn name<...>(params) [-> ret] { body }` (or `;`).
+    fn parse_fn(&mut self, i: usize, end: usize, is_pub: bool, impl_trait: Option<&str>) -> usize {
+        let name_tok = match self.at(i + 1) {
+            Some(t) if t.ident => t,
+            _ => return i + 1,
+        };
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        let mut j = i + 2;
+        if self.text(j) == "<" {
+            let (close, found) = self.find_at_depth0(j + 1, end, &[">", "{", ";"], Angles::Type);
+            j = if found == Some(0) { close + 1 } else { j + 1 };
+        }
+        let mut float_params = BTreeSet::new();
+        let mut hash_params = BTreeSet::new();
+        if self.text(j) == "(" {
+            let params_end = self.skip_balanced(j);
+            let mut p = j + 1;
+            let inner_end = params_end.saturating_sub(1);
+            while p < inner_end {
+                let (comma, _) = self.find_at_depth0(p, inner_end, &[","], Angles::Type);
+                let (colon, has_colon) = self.find_at_depth0(p, comma, &[":"], Angles::Type);
+                if has_colon.is_some() {
+                    for t in &self.toks[p..colon] {
+                        if is_binding_ident(t) {
+                            if tokens_mention_float(self.toks, (colon + 1, comma)) {
+                                float_params.insert(t.text.clone());
+                            }
+                            if tokens_mention_hash(self.toks, (colon + 1, comma)) {
+                                hash_params.insert(t.text.clone());
+                            }
+                        }
+                    }
+                }
+                p = comma + 1;
+            }
+            j = params_end;
+        }
+        // return type / where clause: scan to the body or a `;`
+        let (open, found) = self.find_at_depth0(j, end, &["{", ";"], Angles::Type);
+        match found {
+            Some(0) => {
+                let close = self.skip_balanced(open);
+                let body_span = (open + 1, close.saturating_sub(1));
+                let body = self.parse_block_range(body_span.0, body_span.1, false);
+                self.out.fns.push(FnDef {
+                    name,
+                    is_pub,
+                    impl_trait: impl_trait.map(str::to_string),
+                    line,
+                    float_params,
+                    hash_params,
+                    in_test_mod: self.test_depth > 0,
+                    body_span,
+                    body,
+                });
+                close
+            }
+            Some(_) => open + 1, // trait method signature, no body
+            None => open.max(i + 1),
+        }
+    }
+
+    // ----- statements --------------------------------------------------
+
+    /// Parse statements in `toks[start..end]` (a brace-exclusive block
+    /// body). `match_body` additionally terminates statements on depth-0
+    /// commas, so match arms become separate statements.
+    fn parse_block_range(&mut self, start: usize, end: usize, match_body: bool) -> Block {
+        let mut block = Block::default();
+        let mut i = start;
+        while i < end {
+            let t = self.text(i);
+            let next = match t {
+                ";" | "," => i + 1,
+                "let" => self.parse_let(i, end, &mut block),
+                "for" => self.parse_for(i, end, &mut block),
+                "if" | "while" => self.parse_cond(i, end, &mut block),
+                "match" => self.parse_match(i, end, &mut block),
+                "loop" | "unsafe" => self.parse_headed_block(i, end, &mut block),
+                "fn" | "pub" | "struct" | "impl" | "trait" | "mod" | "enum" | "static"
+                | "const" | "macro_rules" => {
+                    // nested items inside fn bodies: route through the
+                    // item parser so inner fns are analyzed too
+                    let item_end = self.item_extent(i, end);
+                    self.parse_items(i, item_end, None);
+                    item_end
+                }
+                "{" => {
+                    let close = self.skip_balanced(i);
+                    let inner = self.parse_block_range(i + 1, close.saturating_sub(1), false);
+                    let (line, col) = self.pos(i);
+                    block.stmts.push(Stmt {
+                        kind: StmtKind::Expr,
+                        head: (i, i + 1),
+                        line,
+                        col,
+                        blocks: vec![inner],
+                    });
+                    close
+                }
+                "}" => end, // defensive; ranges are brace-exclusive
+                _ => self.parse_expr_stmt(i, end, match_body, &mut block),
+            };
+            i = next.max(i + 1);
+        }
+        block
+    }
+
+    /// Extent of a nested item starting at `i`: through its balanced
+    /// braces (or terminating `;`).
+    fn item_extent(&mut self, i: usize, end: usize) -> usize {
+        if self.text(i) == "macro_rules" {
+            return self.skip_macro_rules(i);
+        }
+        let (stop, found) = self.find_at_depth0(i + 1, end, &["{", ";"], Angles::Expr);
+        match found {
+            Some(0) => self.skip_balanced(stop),
+            _ => stop + 1,
+        }
+    }
+
+    /// `let <pat>[: ty] [= init];` with let-else handled by the init
+    /// scan recursing its `{ .. }`.
+    fn parse_let(&mut self, i: usize, end: usize, block: &mut Block) -> usize {
+        let (line, col) = self.pos(i);
+        let (pat_end, which) = self.find_at_depth0(i + 1, end, &[":", "=", ";"], Angles::Expr);
+        let bindings = pattern_bindings(self.toks, (i + 1, pat_end));
+        let mut ty = None;
+        let mut cursor = pat_end;
+        if which == Some(0) {
+            let (ty_end, _) = self.find_at_depth0(cursor + 1, end, &["=", ";"], Angles::Type);
+            ty = Some((cursor + 1, ty_end));
+            cursor = ty_end;
+        }
+        let mut blocks = Vec::new();
+        let mut init = None;
+        let mut head_end;
+        if self.text(cursor) == "=" {
+            let init_start = cursor + 1;
+            let stmt_end = self.scan_expr(init_start, end, false, &mut blocks);
+            init = Some((init_start, stmt_end));
+            head_end = stmt_end;
+        } else {
+            head_end = cursor;
+        }
+        if self.text(head_end) == ";" {
+            head_end += 1;
+        }
+        block.stmts.push(Stmt {
+            kind: StmtKind::Let { bindings, ty, init },
+            head: (i, head_end),
+            line,
+            col,
+            blocks,
+        });
+        head_end.max(i + 1)
+    }
+
+    /// `for <pat> in <iter> { body }`.
+    fn parse_for(&mut self, i: usize, end: usize, block: &mut Block) -> usize {
+        let (line, col) = self.pos(i);
+        let (in_pos, has_in) = self.find_at_depth0(i + 1, end, &["in", "{"], Angles::Expr);
+        if has_in != Some(0) {
+            // `for` in a bound position or malformed — opaque statement
+            return self.parse_expr_stmt(i, end, false, block);
+        }
+        let bindings = pattern_bindings(self.toks, (i + 1, in_pos));
+        let (open, found) = self.find_at_depth0(in_pos + 1, end, &["{"], Angles::Expr);
+        if found.is_none() {
+            self.error_at(i, "`for` without a body block");
+            return end;
+        }
+        let iter = (in_pos + 1, open);
+        let close = self.skip_balanced(open);
+        let body = self.parse_block_range(open + 1, close.saturating_sub(1), false);
+        block.stmts.push(Stmt {
+            kind: StmtKind::For { bindings, iter },
+            head: (i, open),
+            line,
+            col,
+            blocks: vec![body],
+        });
+        close
+    }
+
+    /// `if`/`while` statements, including `if let`/`while let` binding
+    /// headers and `else`/`else if` chains. Each `else if` header is
+    /// emitted as a sibling statement so rules scan its tokens too.
+    fn parse_cond(&mut self, i: usize, end: usize, block: &mut Block) -> usize {
+        let (line, col) = self.pos(i);
+        let mut blocks = Vec::new();
+        let mut kind = StmtKind::Expr;
+        let mut extra_heads: Vec<(usize, usize)> = Vec::new();
+        let mut first_head_end = None;
+        let mut cursor = i;
+        loop {
+            // one `if`/`while` header
+            let header_start = cursor + 1;
+            if self.text(header_start) == "let" {
+                let (eq, has_eq) =
+                    self.find_at_depth0(header_start + 1, end, &["=", "{"], Angles::Expr);
+                if has_eq == Some(0) {
+                    let bindings = pattern_bindings(self.toks, (header_start + 1, eq));
+                    let (open, _) = self.find_at_depth0(eq + 1, end, &["{"], Angles::Expr);
+                    if matches!(kind, StmtKind::Expr) {
+                        kind = StmtKind::CondLet {
+                            bindings,
+                            expr: (eq + 1, open),
+                        };
+                    }
+                }
+            }
+            let (open, found) = self.find_at_depth0(cursor + 1, end, &["{", ";"], Angles::Expr);
+            if found != Some(0) {
+                if first_head_end.is_none() {
+                    first_head_end = Some(open);
+                }
+                cursor = open + 1;
+                break;
+            }
+            if first_head_end.is_none() {
+                first_head_end = Some(open);
+            } else {
+                extra_heads.push((header_start, open));
+            }
+            let close = self.skip_balanced(open);
+            blocks.push(self.parse_block_range(open + 1, close.saturating_sub(1), false));
+            cursor = close;
+            // else / else-if chain
+            if self.text(cursor) == "else" {
+                if self.text(cursor + 1) == "{" {
+                    let eopen = cursor + 1;
+                    let eclose = self.skip_balanced(eopen);
+                    blocks.push(self.parse_block_range(eopen + 1, eclose.saturating_sub(1), false));
+                    cursor = eclose;
+                    break;
+                }
+                if self.text(cursor + 1) == "if" {
+                    cursor += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        block.stmts.push(Stmt {
+            kind,
+            head: (i, first_head_end.unwrap_or(i + 1)),
+            line,
+            col,
+            blocks,
+        });
+        for (hs, he) in extra_heads {
+            let (hl, hc) = self.pos(hs);
+            block.stmts.push(Stmt {
+                kind: StmtKind::Expr,
+                head: (hs, he),
+                line: hl,
+                col: hc,
+                blocks: Vec::new(),
+            });
+        }
+        cursor.max(i + 1)
+    }
+
+    /// `match expr { arms }` — the arm list parses as a match body so
+    /// depth-0 commas split arms into separate statements.
+    fn parse_match(&mut self, i: usize, end: usize, block: &mut Block) -> usize {
+        let (line, col) = self.pos(i);
+        let (open, found) = self.find_at_depth0(i + 1, end, &["{", ";"], Angles::Expr);
+        if found != Some(0) {
+            return open + 1;
+        }
+        let close = self.skip_balanced(open);
+        let body = self.parse_block_range(open + 1, close.saturating_sub(1), true);
+        block.stmts.push(Stmt {
+            kind: StmtKind::Expr,
+            head: (i, open),
+            line,
+            col,
+            blocks: vec![body],
+        });
+        // a match used as a statement may be followed by `;`
+        if self.text(close) == ";" {
+            close + 1
+        } else {
+            close
+        }
+    }
+
+    /// `loop { .. }` / `unsafe { .. }`.
+    fn parse_headed_block(&mut self, i: usize, end: usize, block: &mut Block) -> usize {
+        let (line, col) = self.pos(i);
+        let (open, found) = self.find_at_depth0(i + 1, end, &["{", ";"], Angles::Expr);
+        if found != Some(0) {
+            return open + 1;
+        }
+        let close = self.skip_balanced(open);
+        let body = self.parse_block_range(open + 1, close.saturating_sub(1), false);
+        block.stmts.push(Stmt {
+            kind: StmtKind::Expr,
+            head: (i, open),
+            line,
+            col,
+            blocks: vec![body],
+        });
+        close
+    }
+
+    /// An opaque expression statement: scan to the terminator, recursing
+    /// into any depth-0 `{ .. }` regions (closure bodies, match
+    /// sub-expressions, struct literals) as nested blocks.
+    fn parse_expr_stmt(
+        &mut self,
+        i: usize,
+        end: usize,
+        match_body: bool,
+        block: &mut Block,
+    ) -> usize {
+        let (line, col) = self.pos(i);
+        let mut blocks = Vec::new();
+        let stmt_end = self.scan_expr(i, end, match_body, &mut blocks);
+        let mut next = stmt_end;
+        if matches!(self.text(next), ";" | ",") {
+            next += 1;
+        }
+        block.stmts.push(Stmt {
+            kind: StmtKind::Expr,
+            head: (i, stmt_end),
+            line,
+            col,
+            blocks,
+        });
+        next.max(i + 1)
+    }
+
+    /// Scan one expression starting at `i`: stop at a depth-0 `;` (or
+    /// `,` in match bodies) or the region end; recurse into depth-0
+    /// brace regions. Returns the end index (terminator exclusive).
+    fn scan_expr(
+        &mut self,
+        i: usize,
+        end: usize,
+        match_body: bool,
+        blocks: &mut Vec<Block>,
+    ) -> usize {
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        let mut j = i;
+        let mut pending_match = false;
+        while j < end {
+            let t = self.text(j);
+            match t {
+                "(" => paren += 1,
+                ")" => {
+                    if paren == 0 {
+                        return j;
+                    }
+                    paren -= 1;
+                }
+                "[" => bracket += 1,
+                "]" => {
+                    if bracket == 0 {
+                        return j;
+                    }
+                    bracket -= 1;
+                }
+                ";" if paren == 0 && bracket == 0 => return j,
+                "," if match_body && paren == 0 && bracket == 0 => return j,
+                "}" if paren == 0 && bracket == 0 => return j,
+                "match" if paren == 0 && bracket == 0 => pending_match = true,
+                "{" if paren == 0 && bracket == 0 => {
+                    let close = self.skip_balanced(j);
+                    blocks.push(self.parse_block_range(
+                        j + 1,
+                        close.saturating_sub(1),
+                        pending_match,
+                    ));
+                    pending_match = false;
+                    j = close;
+                    // continue the statement only through chain/else glue
+                    match self.text(j) {
+                        "." | "?" | "else" => continue,
+                        _ => return j,
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        end.min(j)
+    }
+}
+
+/// Parse a stripped token stream into a [`ParsedFile`].
+pub(crate) fn parse(toks: &[Tok]) -> ParsedFile {
+    let mut p = Parser {
+        toks,
+        out: ParsedFile::default(),
+        test_depth: 0,
+    };
+    p.parse_items(0, toks.len(), None);
+    p.out
+}
+
+/// Render the statement tree as stable indented text — the contract the
+/// parser torture fixture asserts against.
+pub(crate) fn debug_tree(file: &ParsedFile) -> String {
+    fn walk(block: &Block, depth: usize, out: &mut String) {
+        for stmt in &block.stmts {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            let at = format!("@{}:{}", stmt.line, stmt.col);
+            match &stmt.kind {
+                StmtKind::Let { bindings, ty, init } => {
+                    out.push_str(&format!(
+                        "let [{}]{}{} {at}\n",
+                        bindings.join(", "),
+                        if ty.is_some() { " :ty" } else { "" },
+                        if init.is_some() { " =init" } else { "" },
+                    ));
+                }
+                StmtKind::For { bindings, .. } => {
+                    out.push_str(&format!("for [{}] {at}\n", bindings.join(", ")));
+                }
+                StmtKind::CondLet { bindings, .. } => {
+                    out.push_str(&format!("cond-let [{}] {at}\n", bindings.join(", ")));
+                }
+                StmtKind::Expr => out.push_str(&format!("expr {at}\n")),
+            }
+            for b in &stmt.blocks {
+                walk(b, depth + 1, out);
+            }
+        }
+    }
+    let mut out = String::new();
+    for f in &file.fns {
+        out.push_str(&format!(
+            "fn {}{}{} @{}\n",
+            f.name,
+            if f.is_pub { " pub" } else { "" },
+            f.impl_trait
+                .as_deref()
+                .map(|t| format!(" impl:{t}"))
+                .unwrap_or_default(),
+            f.line,
+        ));
+        walk(&f.body, 1, &mut out);
+    }
+    for (line, col, msg) in &file.errors {
+        out.push_str(&format!("error {line}:{col} {msg}\n"));
+    }
+    out
+}

@@ -1,0 +1,311 @@
+//! `OCT-LINT-006` — unordered-iteration dataflow.
+//!
+//! `HashMap`/`HashSet` iteration order is seeded per process, so any
+//! value *derived from iterating* one of them that flows into an
+//! order-sensitive sink (`push`/`insert`/`entry`/`extend`/`append`/
+//! `fold`/`hash`/`emit`) breaks byte-identical replay. This rule tracks
+//! that flow through local bindings within a function:
+//!
+//! - a binding is **tainted** when bound (by `let`, `for`, `if let`,
+//!   `while let`) from an expression that iterates a hash container —
+//!   a local declared as `HashMap`/`HashSet`, a struct field or
+//!   parameter of hash type, or a literal `HashMap`/`HashSet` path —
+//!   via `.iter()`/`.keys()`/`.values()`/`.drain()`/`.into_iter()` (or
+//!   a bare `for x in &map`);
+//! - a statement that calls an order-sensitive sink **and** references
+//!   a tainted binding (or contains the unordered iteration inline) is
+//!   a violation;
+//! - a `.sort*()` call on a binding, or routing through
+//!   `BTreeMap`/`BTreeSet`, sanitizes it.
+//!
+//! Keyed access (`get`/`contains_key`/`insert`/`remove` on the map
+//! itself) never taints: that is exactly the class of use the retired
+//! blanket ban `OCT-LINT-001` forced allows for.
+
+use std::collections::BTreeMap;
+
+use super::{engine_src, Candidate, FileCtx};
+use crate::parser::{Block, FnDef, Stmt, StmtKind};
+
+/// Iteration methods that expose hash ordering.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Order-sensitive sinks: appending, accumulating or hashing in
+/// encounter order bakes the iteration order into engine state.
+const SINKS: &[&str] = &[
+    "push", "insert", "entry", "extend", "append", "fold", "hash", "emit",
+];
+
+/// Sanitizers: a sorted or BTree-routed stream has deterministic order.
+const SORTS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+#[derive(Clone, Copy, Default)]
+struct Taint {
+    /// The binding *is* a hash container (iterating it is unordered).
+    container: bool,
+    /// The binding's value came from unordered iteration.
+    unordered: bool,
+}
+
+/// Lexical scope stack of binding taints.
+struct Env {
+    scopes: Vec<BTreeMap<String, Taint>>,
+}
+
+impl Env {
+    fn lookup(&self, name: &str) -> Option<Taint> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn bind(&mut self, name: &str, taint: Taint) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.insert(name.to_string(), taint);
+        }
+    }
+
+    /// Clear the `unordered` bit wherever `name` resolves (sort heals
+    /// the binding in place).
+    fn sanitize(&mut self, name: &str) {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(t) = scope.get_mut(name) {
+                t.unordered = false;
+                return;
+            }
+        }
+    }
+}
+
+pub(crate) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Candidate>) {
+    if !engine_src(ctx.rel) {
+        return;
+    }
+    for f in ctx.parsed.fns.iter().filter(|f| !f.in_test_mod) {
+        let mut env = Env {
+            scopes: vec![BTreeMap::new()],
+        };
+        for p in &f.hash_params {
+            env.bind(
+                p,
+                Taint {
+                    container: true,
+                    unordered: false,
+                },
+            );
+        }
+        walk(ctx, f, &f.body, &mut env, out);
+    }
+}
+
+/// Does the token range reference a hash container (tainted-container
+/// binding, hash-typed field/param, or a literal `HashMap`/`HashSet`)?
+fn mentions_hash_source(ctx: &FileCtx<'_>, env: &Env, range: (usize, usize)) -> bool {
+    ctx.toks[range.0..range.1.min(ctx.toks.len())]
+        .iter()
+        .any(|t| {
+            t.ident
+                && (t.text == "HashMap"
+                    || t.text == "HashSet"
+                    || ctx.parsed.hash_fields.contains(&t.text)
+                    || env.lookup(&t.text).is_some_and(|tt| tt.container))
+        })
+}
+
+/// Is the token range already routed through a deterministic order
+/// (sort call or BTree collection)?
+fn is_sanitized(ctx: &FileCtx<'_>, range: (usize, usize)) -> bool {
+    ctx.toks[range.0..range.1.min(ctx.toks.len())]
+        .iter()
+        .any(|t| {
+            t.ident
+                && (SORTS.contains(&t.text.as_str())
+                    || t.text == "BTreeMap"
+                    || t.text == "BTreeSet")
+        })
+}
+
+/// Does the token range contain an iteration-method call?
+fn has_iter_method(ctx: &FileCtx<'_>, range: (usize, usize)) -> bool {
+    let end = range.1.min(ctx.toks.len());
+    (range.0..end).any(|i| super::is_method_call(ctx.toks, i, ITER_METHODS))
+}
+
+/// Is the expression's value in unordered (hash-iteration) order?
+fn expr_unordered(ctx: &FileCtx<'_>, env: &Env, range: (usize, usize)) -> bool {
+    if is_sanitized(ctx, range) {
+        return false;
+    }
+    // a reference to an already-unordered binding propagates
+    let end = range.1.min(ctx.toks.len());
+    let via_binding = ctx.toks[range.0..end]
+        .iter()
+        .any(|t| t.ident && env.lookup(&t.text).is_some_and(|tt| tt.unordered));
+    if via_binding {
+        return true;
+    }
+    mentions_hash_source(ctx, env, range) && has_iter_method(ctx, range)
+}
+
+/// For-loop iterables additionally taint when the iterable *is* a hash
+/// container referenced bare (`for x in &map`), with no call at all.
+fn iterable_unordered(ctx: &FileCtx<'_>, env: &Env, range: (usize, usize)) -> bool {
+    if expr_unordered(ctx, env, range) {
+        return true;
+    }
+    if is_sanitized(ctx, range) {
+        return false;
+    }
+    let end = range.1.min(ctx.toks.len());
+    let has_call = ctx.toks[range.0..end].iter().any(|t| t.text == "(");
+    !has_call && mentions_hash_source(ctx, env, range)
+}
+
+/// Find the first order-sensitive sink call in a statement head.
+fn find_sink(ctx: &FileCtx<'_>, range: (usize, usize)) -> Option<usize> {
+    let end = range.1.min(ctx.toks.len());
+    (range.0..end).find(|&i| super::is_call(ctx.toks, i, SINKS))
+}
+
+/// Does the statement head reference any unordered-tainted binding?
+fn references_unordered(ctx: &FileCtx<'_>, env: &Env, range: (usize, usize)) -> bool {
+    let end = range.1.min(ctx.toks.len());
+    ctx.toks[range.0..end]
+        .iter()
+        .any(|t| t.ident && env.lookup(&t.text).is_some_and(|tt| tt.unordered))
+}
+
+fn walk(ctx: &FileCtx<'_>, f: &FnDef, block: &Block, env: &mut Env, out: &mut Vec<Candidate>) {
+    for stmt in &block.stmts {
+        check_stmt(ctx, f, stmt, env, out);
+    }
+}
+
+fn check_stmt(ctx: &FileCtx<'_>, f: &FnDef, stmt: &Stmt, env: &mut Env, out: &mut Vec<Candidate>) {
+    // 1. sink check on the statement head, before new bindings apply
+    if let Some(sink) = find_sink(ctx, stmt.head) {
+        let flows = references_unordered(ctx, env, stmt.head)
+            || (mentions_hash_source(ctx, env, stmt.head)
+                && has_iter_method(ctx, stmt.head)
+                && !is_sanitized(ctx, stmt.head));
+        if flows {
+            let t = &ctx.toks[sink];
+            out.push(Candidate {
+                line: t.line,
+                col: t.col,
+                code: "OCT-LINT-006",
+                message: format!(
+                    "value from unordered HashMap/HashSet iteration flows into the \
+                     order-sensitive sink `.{}()`: iteration order is seeded per \
+                     process and breaks byte-identical replay; iterate a BTree \
+                     collection or sort first",
+                    t.text
+                ),
+            });
+        }
+    }
+
+    // 2. sanitizer: `binding.sort*()` heals the binding
+    {
+        let end = stmt.head.1.min(ctx.toks.len());
+        for i in stmt.head.0..end {
+            if super::is_method_call(ctx.toks, i, SORTS) && i >= 2 && ctx.toks[i - 2].ident {
+                let receiver = ctx.toks[i - 2].text.clone();
+                env.sanitize(&receiver);
+            }
+        }
+    }
+
+    // 3. binding effects + sub-block scoping
+    match &stmt.kind {
+        StmtKind::Let { bindings, ty, init } => {
+            let container = ty.map(|r| crate_mentions_hash(ctx, r)).unwrap_or(false)
+                || init.map(|r| constructs_hash(ctx, r)).unwrap_or(false);
+            let unordered = init.map(|r| expr_unordered(ctx, env, r)).unwrap_or(false);
+            // sub-blocks (closure bodies etc.) see the pre-binding env
+            for b in &stmt.blocks {
+                env.scopes.push(BTreeMap::new());
+                walk(ctx, f, b, env, out);
+                env.scopes.pop();
+            }
+            for name in bindings {
+                env.bind(
+                    name,
+                    Taint {
+                        container,
+                        unordered,
+                    },
+                );
+            }
+        }
+        StmtKind::For { bindings, iter } => {
+            let tainted = iterable_unordered(ctx, env, *iter);
+            for b in &stmt.blocks {
+                env.scopes.push(BTreeMap::new());
+                for name in bindings {
+                    env.bind(
+                        name,
+                        Taint {
+                            container: false,
+                            unordered: tainted,
+                        },
+                    );
+                }
+                walk(ctx, f, b, env, out);
+                env.scopes.pop();
+            }
+        }
+        StmtKind::CondLet { bindings, expr } => {
+            let tainted = expr_unordered(ctx, env, *expr);
+            for b in &stmt.blocks {
+                env.scopes.push(BTreeMap::new());
+                for name in bindings {
+                    env.bind(
+                        name,
+                        Taint {
+                            container: false,
+                            unordered: tainted,
+                        },
+                    );
+                }
+                walk(ctx, f, b, env, out);
+                env.scopes.pop();
+            }
+        }
+        StmtKind::Expr => {
+            for b in &stmt.blocks {
+                env.scopes.push(BTreeMap::new());
+                walk(ctx, f, b, env, out);
+                env.scopes.pop();
+            }
+        }
+    }
+}
+
+/// Type-annotation mention of a hash container.
+fn crate_mentions_hash(ctx: &FileCtx<'_>, range: (usize, usize)) -> bool {
+    ctx.toks[range.0..range.1.min(ctx.toks.len())]
+        .iter()
+        .any(|t| t.text == "HashMap" || t.text == "HashSet")
+}
+
+/// Initializer that *constructs* a hash container (`HashMap::new()`,
+/// `HashSet::with_capacity(..)`, turbofish collects).
+fn constructs_hash(ctx: &FileCtx<'_>, range: (usize, usize)) -> bool {
+    crate_mentions_hash(ctx, range)
+}

@@ -1,0 +1,180 @@
+//! `OCT-LINT-007` — float accumulation in merge paths.
+//!
+//! Float addition is not associative: `(a + b) + c != a + (b + c)` in
+//! general, so an `f32`/`f64` `+=`, `.sum()` or `.fold(..)` inside a
+//! *merge path* — an `impl Merge` method, an `absorb`, or any fn whose
+//! name contains `merge` in an engine crate — produces results that
+//! depend on merge order. Sequential/parallel equivalence requires the
+//! driver to merge shard results in a fixed order; this rule flags the
+//! accumulation sites so each is either integerized or carries an allow
+//! documenting the fixed-order argument.
+//!
+//! Float evidence is resolved from declared types, not spelled tokens
+//! alone: struct fields and parameters typed `f32`/`f64` taint the
+//! bindings iterating or aliasing them.
+
+use std::collections::BTreeMap;
+
+use super::{engine_src, Candidate, FileCtx};
+use crate::parser::{Block, FnDef, Stmt, StmtKind};
+
+/// Is this fn a merge path: shard results folding into one another?
+fn is_merge_path(f: &FnDef) -> bool {
+    f.impl_trait.as_deref() == Some("Merge") || f.name == "absorb" || f.name.contains("merge")
+}
+
+/// Lexical scope stack: binding name → is-float.
+struct Env {
+    scopes: Vec<BTreeMap<String, bool>>,
+}
+
+impl Env {
+    fn is_float(&self, name: &str) -> bool {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).copied())
+            .unwrap_or(false)
+    }
+
+    fn bind(&mut self, name: &str, float: bool) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.insert(name.to_string(), float);
+        }
+    }
+}
+
+pub(crate) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Candidate>) {
+    if !engine_src(ctx.rel) {
+        return;
+    }
+    for f in ctx
+        .parsed
+        .fns
+        .iter()
+        .filter(|f| is_merge_path(f) && !f.in_test_mod)
+    {
+        let mut env = Env {
+            scopes: vec![BTreeMap::new()],
+        };
+        for p in &f.float_params {
+            env.bind(p, true);
+        }
+        walk(ctx, &f.body, &mut env, out);
+    }
+}
+
+/// Float evidence in a token range: a decimal literal, a spelled
+/// `f32`/`f64`, a float-typed field/param, or a float-tainted binding.
+fn has_float_evidence(ctx: &FileCtx<'_>, env: &Env, range: (usize, usize)) -> bool {
+    let end = range.1.min(ctx.toks.len());
+    ctx.toks[range.0..end].iter().any(|t| {
+        t.is_float_literal()
+            || t.text == "f32"
+            || t.text == "f64"
+            || (t.ident && (ctx.parsed.float_fields.contains(&t.text) || env.is_float(&t.text)))
+    })
+}
+
+/// Does the expression range *source* floats (for let/for taint)?
+fn expr_is_float(ctx: &FileCtx<'_>, env: &Env, range: (usize, usize)) -> bool {
+    has_float_evidence(ctx, env, range)
+}
+
+fn walk(ctx: &FileCtx<'_>, block: &Block, env: &mut Env, out: &mut Vec<Candidate>) {
+    for stmt in &block.stmts {
+        check_stmt(ctx, stmt, env, out);
+    }
+}
+
+fn check_stmt(ctx: &FileCtx<'_>, stmt: &Stmt, env: &mut Env, out: &mut Vec<Candidate>) {
+    let (start, head_end) = (stmt.head.0, stmt.head.1.min(ctx.toks.len()));
+
+    // `+=` with float evidence anywhere in the statement head
+    let mut fired = false;
+    for i in start..head_end.saturating_sub(1) {
+        let a = &ctx.toks[i];
+        let b = &ctx.toks[i + 1];
+        if a.text == "+" && b.text == "=" && has_float_evidence(ctx, env, stmt.head) {
+            out.push(Candidate {
+                line: a.line,
+                col: a.col,
+                code: "OCT-LINT-007",
+                message: "float `+=` in a merge path: float addition is not associative, \
+                          so merge order changes the result; accumulate integers (counts, \
+                          fixed-point) or justify a fixed merge order"
+                    .to_string(),
+            });
+            fired = true;
+            break;
+        }
+    }
+
+    // `.sum()` / `.fold(..)` with float evidence
+    if !fired {
+        for i in start..head_end {
+            if super::is_method_call(ctx.toks, i, &["sum", "fold"])
+                && has_float_evidence(ctx, env, stmt.head)
+            {
+                let t = &ctx.toks[i];
+                out.push(Candidate {
+                    line: t.line,
+                    col: t.col,
+                    code: "OCT-LINT-007",
+                    message: format!(
+                        "float `.{}()` in a merge path: float reduction order changes \
+                         the result across merge schedules; reduce integers or justify \
+                         a fixed fold order",
+                        t.text
+                    ),
+                });
+                break;
+            }
+        }
+    }
+
+    // binding effects + sub-blocks
+    match &stmt.kind {
+        StmtKind::Let { bindings, ty, init } => {
+            let float = ty.map(|r| has_float_evidence(ctx, env, r)).unwrap_or(false)
+                || init.map(|r| expr_is_float(ctx, env, r)).unwrap_or(false);
+            for b in &stmt.blocks {
+                env.scopes.push(BTreeMap::new());
+                walk(ctx, b, env, out);
+                env.scopes.pop();
+            }
+            for name in bindings {
+                env.bind(name, float);
+            }
+        }
+        StmtKind::For { bindings, iter } => {
+            let float = expr_is_float(ctx, env, *iter);
+            for b in &stmt.blocks {
+                env.scopes.push(BTreeMap::new());
+                for name in bindings {
+                    env.bind(name, float);
+                }
+                walk(ctx, b, env, out);
+                env.scopes.pop();
+            }
+        }
+        StmtKind::CondLet { bindings, expr } => {
+            let float = expr_is_float(ctx, env, *expr);
+            for b in &stmt.blocks {
+                env.scopes.push(BTreeMap::new());
+                for name in bindings {
+                    env.bind(name, float);
+                }
+                walk(ctx, b, env, out);
+                env.scopes.pop();
+            }
+        }
+        StmtKind::Expr => {
+            for b in &stmt.blocks {
+                env.scopes.push(BTreeMap::new());
+                walk(ctx, b, env, out);
+                env.scopes.pop();
+            }
+        }
+    }
+}

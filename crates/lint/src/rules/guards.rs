@@ -1,0 +1,234 @@
+//! `OCT-LINT-008` — guard discipline in the barrier modules.
+//!
+//! PR 8's worst bug: a worker thread called `resume_unwind` while still
+//! holding the panic-slot mutex guard, poisoning the mutex every other
+//! worker was about to take and turning one shard panic into a cascade
+//! of `PoisonError` panics that deadlocked the window barrier. This
+//! rule encodes the post-mortem as static analysis, scoped to the two
+//! modules where lock guards and the barrier protocol live
+//! (`crates/net/src/pool.rs`, `world.rs`):
+//!
+//! - a **guard binding** is `let [mut] g = <expr>.lock()/.read()/
+//!   .write()` followed only by `.unwrap()`/`.expect(..)` (a trailing
+//!   `.take()` or similar makes it a temporary, not a guard);
+//! - while a guard is live (until `drop(g)` or scope end), taking a
+//!   second lock is a violation (lock-order deadlock / poison-cascade
+//!   hazard);
+//! - while a guard is live, any potential panic — `panic!`/
+//!   `unreachable!`/`todo!`/`.unwrap()`/`.expect(..)`/`resume_unwind` —
+//!   is a violation: it would poison the held lock;
+//! - the acquisition statement itself and condvar reacquisition
+//!   (`g = cv.wait(g).expect(..)`) are exempt — that `expect` fires
+//!   only if the *condvar* is poisoned, at which point the window is
+//!   already lost.
+
+use std::collections::BTreeSet;
+
+use super::{Candidate, FileCtx, GUARD_SCOPE};
+use crate::lexer::Tok;
+use crate::parser::{Block, Stmt, StmtKind};
+
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+pub(crate) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Candidate>) {
+    if !GUARD_SCOPE.contains(&ctx.rel) {
+        return;
+    }
+    for f in ctx.parsed.fns.iter().filter(|f| !f.in_test_mod) {
+        let mut guards: Vec<BTreeSet<String>> = vec![BTreeSet::new()];
+        walk(ctx, &f.body, &mut guards, out);
+    }
+}
+
+fn live_guard(guards: &[BTreeSet<String>]) -> Option<&str> {
+    guards
+        .iter()
+        .rev()
+        .find_map(|s| s.iter().next().map(String::as_str))
+}
+
+/// Is `init` a guard acquisition: a chain ending in
+/// `.lock()/.read()/.write()` followed only by `.unwrap()`/`.expect(..)`?
+fn is_guard_acquisition(toks: &[Tok], range: (usize, usize)) -> bool {
+    let end = range.1.min(toks.len());
+    let lock_at = (range.0..end)
+        .rev()
+        .find(|&i| super::is_method_call(toks, i, LOCK_METHODS));
+    let Some(lock_at) = lock_at else {
+        return false;
+    };
+    // skip the lock call's argument parens
+    let mut i = lock_at + 1;
+    let mut depth = 0i64;
+    while i < end {
+        match toks[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // the rest must be only `.unwrap()` / `.expect(..)` adapters
+    while i < end {
+        if toks[i].text != "." {
+            return false;
+        }
+        if !toks
+            .get(i + 1)
+            .is_some_and(|t| PANIC_METHODS.contains(&t.text.as_str()))
+        {
+            return false;
+        }
+        if toks.get(i + 2).map(|t| t.text.as_str()) != Some("(") {
+            return false;
+        }
+        let mut depth = 0i64;
+        i += 2;
+        while i < end {
+            match toks[i].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    true
+}
+
+/// `drop(name)` on a live guard releases it.
+fn dropped_guard(toks: &[Tok], range: (usize, usize)) -> Option<String> {
+    let end = range.1.min(toks.len());
+    if end - range.0 >= 4
+        && toks[range.0].text == "drop"
+        && toks[range.0 + 1].text == "("
+        && toks[range.0 + 2].ident
+        && toks[range.0 + 3].text == ")"
+    {
+        return Some(toks[range.0 + 2].text.clone());
+    }
+    None
+}
+
+/// Condvar reacquisition: `g = <expr>` where `g` is a live guard.
+fn is_reacquisition(toks: &[Tok], range: (usize, usize), guards: &[BTreeSet<String>]) -> bool {
+    let end = range.1.min(toks.len());
+    end - range.0 >= 3
+        && toks[range.0].ident
+        && guards.iter().any(|s| s.contains(&toks[range.0].text))
+        && toks[range.0 + 1].text == "="
+        && toks[range.0 + 2].text != "="
+}
+
+fn scan_head(
+    ctx: &FileCtx<'_>,
+    stmt: &Stmt,
+    guards: &[BTreeSet<String>],
+    second_lock_only: bool,
+    out: &mut Vec<Candidate>,
+) {
+    let Some(holder) = live_guard(guards) else {
+        return;
+    };
+    let end = stmt.head.1.min(ctx.toks.len());
+    for i in stmt.head.0..end {
+        let t = &ctx.toks[i];
+        if super::is_method_call(ctx.toks, i, LOCK_METHODS) {
+            out.push(Candidate {
+                line: t.line,
+                col: t.col,
+                code: "OCT-LINT-008",
+                message: format!(
+                    "`.{}()` while guard `{holder}` is live: a second lock under a held \
+                     guard risks lock-order deadlock and poison cascades across the \
+                     window barrier; drop `{holder}` first",
+                    t.text
+                ),
+            });
+            return;
+        }
+        if second_lock_only {
+            continue;
+        }
+        let panicky = (t.ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && ctx.toks.get(i + 1).is_some_and(|n| n.text == "!"))
+            || super::is_method_call(ctx.toks, i, PANIC_METHODS)
+            || super::is_call(ctx.toks, i, &["resume_unwind"]);
+        if panicky {
+            out.push(Candidate {
+                line: t.line,
+                col: t.col,
+                code: "OCT-LINT-008",
+                message: format!(
+                    "potential panic (`{}`) while guard `{holder}` is live would poison \
+                     its lock for every other thread (the PR-8 poisoned-mutex cascade); \
+                     drop `{holder}` before any fallible/raising call",
+                    t.text
+                ),
+            });
+            return;
+        }
+    }
+}
+
+fn walk(
+    ctx: &FileCtx<'_>,
+    block: &Block,
+    guards: &mut Vec<BTreeSet<String>>,
+    out: &mut Vec<Candidate>,
+) {
+    guards.push(BTreeSet::new());
+    for stmt in &block.stmts {
+        let guard_let = match &stmt.kind {
+            StmtKind::Let { bindings, init, .. } => match (bindings.as_slice(), init) {
+                ([name], Some(range)) if is_guard_acquisition(ctx.toks, *range) => {
+                    Some(name.clone())
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+
+        if is_reacquisition(ctx.toks, stmt.head, guards) {
+            // condvar wait: the guard moves through the wait and back
+        } else if let Some(dropped) = dropped_guard(ctx.toks, stmt.head) {
+            for scope in guards.iter_mut().rev() {
+                if scope.remove(&dropped) {
+                    break;
+                }
+            }
+        } else {
+            // a fresh acquisition is itself exempt from the panic check
+            // (the .expect on .lock() is the sanctioned poison check),
+            // but taking it while another guard is live is still a
+            // second-lock violation
+            scan_head(ctx, stmt, guards, guard_let.is_some(), out);
+        }
+
+        for b in &stmt.blocks {
+            walk(ctx, b, guards, out);
+        }
+
+        if let Some(name) = guard_let {
+            if let Some(top) = guards.last_mut() {
+                top.insert(name);
+            }
+        }
+    }
+    guards.pop();
+}

@@ -1,0 +1,55 @@
+// Known-bad fixture: OCT-LINT-006 unordered-flow.
+// Linted under the synthetic engine path crates/sim/src/bad_006.rs.
+// Tilde markers name the exact diagnostic expected on their line.
+
+fn collect_keys(m: &std::collections::HashMap<u64, u32>, out: &mut Vec<u64>) {
+    for k in m.keys() {
+        out.push(*k); //~ OCT-LINT-006
+    }
+}
+
+fn spread(m: &std::collections::HashMap<u64, u32>, out: &mut Vec<u32>) {
+    out.extend(m.values().copied()); //~ OCT-LINT-006
+}
+
+fn checksum(s: &std::collections::HashSet<u64>) -> u64 {
+    s.iter().fold(0, |acc, v| acc ^ v) //~ OCT-LINT-006
+}
+
+fn bare_iteration(m: &std::collections::HashMap<u64, u32>, out: &mut Vec<u64>) {
+    for (k, v) in m {
+        out.push(k + u64::from(*v)); //~ OCT-LINT-006
+    }
+}
+
+fn local_map_taints(xs: &[u64], out: &mut Vec<u64>) {
+    let mut m = std::collections::HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0u64) += 1;
+    }
+    for k in m.keys() {
+        out.push(*k); //~ OCT-LINT-006
+    }
+}
+
+// --- negative space: these must stay clean -------------------------------
+
+fn sorted_is_fine(m: &std::collections::HashMap<u64, u32>, out: &mut Vec<u64>) {
+    let mut ks: Vec<u64> = m.keys().copied().collect();
+    ks.sort_unstable();
+    for k in ks {
+        out.push(k);
+    }
+}
+
+fn keyed_access_is_fine(m: &std::collections::HashMap<u64, u32>, k: u64, out: &mut Vec<u32>) {
+    if let Some(v) = m.get(&k) {
+        out.push(*v);
+    }
+}
+
+fn btree_is_fine(m: &std::collections::BTreeMap<u64, u32>, out: &mut Vec<u64>) {
+    for k in m.keys() {
+        out.push(*k);
+    }
+}

@@ -1,0 +1,46 @@
+// Known-bad fixture: OCT-LINT-007 float accumulation in merge paths.
+// Linted under the synthetic engine path crates/metrics/src/bad_007.rs.
+// Tilde markers name the exact diagnostic expected on their line.
+
+pub struct Stats {
+    mean: f64,
+    count: u64,
+}
+
+pub trait Merge {
+    fn merge(&mut self, other: Self);
+}
+
+impl Merge for Stats {
+    fn merge(&mut self, other: Self) {
+        self.mean += other.mean; //~ OCT-LINT-007
+        self.count += other.count;
+    }
+}
+
+fn absorb(acc: &mut Vec<f64>, other: &[f64]) {
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a += *b; //~ OCT-LINT-007
+    }
+}
+
+fn merge_weights(ws: &[f32]) -> f32 {
+    ws.iter().copied().fold(0.0, |acc, w| acc + w) //~ OCT-LINT-007
+}
+
+fn merge_mean(stats: &[Stats]) -> f64 {
+    let total: f64 = stats.iter().map(|s| s.mean).sum(); //~ OCT-LINT-007
+    total / stats.len() as f64
+}
+
+// --- negative space: these must stay clean -------------------------------
+
+fn merge_counts(acc: &mut [u64], other: &[u64]) {
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a += *b;
+    }
+}
+
+fn plain_total(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

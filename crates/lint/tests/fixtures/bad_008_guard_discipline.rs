@@ -1,0 +1,56 @@
+// Known-bad fixture: OCT-LINT-008 guard discipline, linted under the
+// synthetic path crates/net/src/pool.rs (the rule is scoped to the
+// barrier modules). `resume_under_guard` reproduces the PR-8
+// poisoned-mutex cascade: resume_unwind while the panic-slot guard is
+// live poisons the mutex for every other worker.
+
+use std::sync::{Condvar, Mutex, RwLock};
+
+fn resume_under_guard(slot: &Mutex<Option<Box<dyn std::any::Any + Send>>>) {
+    let mut g = slot.lock().unwrap();
+    if let Some(payload) = g.take() {
+        std::panic::resume_unwind(payload); //~ OCT-LINT-008
+    }
+}
+
+fn double_lock(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let g = a.lock().unwrap();
+    let h = b.lock().unwrap(); //~ OCT-LINT-008
+    *g + *h
+}
+
+fn unwrap_under_guard(state: &RwLock<Vec<u64>>, xs: &[u64]) -> u64 {
+    let g = state.read().unwrap();
+    let first = xs.first().unwrap(); //~ OCT-LINT-008
+    *first + g.len() as u64
+}
+
+fn panic_under_guard(m: &Mutex<u64>) {
+    let g = m.lock().unwrap();
+    if *g > 7 {
+        panic!("bad count"); //~ OCT-LINT-008
+    }
+}
+
+// --- negative space: these must stay clean -------------------------------
+
+fn condvar_wait_is_fine(pair: &(Mutex<bool>, Condvar)) {
+    let lock = &pair.0;
+    let cv = &pair.1;
+    let mut done = lock.lock().unwrap();
+    while !*done {
+        done = cv.wait(done).unwrap();
+    }
+}
+
+fn drop_then_unwrap_is_fine(m: &Mutex<u64>, xs: &[u64]) -> u64 {
+    let g = m.lock().unwrap();
+    let v = *g;
+    drop(g);
+    xs.first().unwrap().wrapping_add(v)
+}
+
+fn temporaries_are_fine(slot: &Mutex<Option<u64>>) -> Option<u64> {
+    let taken = slot.lock().unwrap().take();
+    taken
+}

@@ -2,8 +2,8 @@
 // justified suppression, so the file must lint clean with
 // `suppressed == 2` (the VEF false-positive guard applied to the tool).
 
-struct Index {
-    slots: std::collections::HashMap<u64, u32>, // octolint: allow(OCT-LINT-001) -- keyed access only, never iterated
+fn spread(m: &std::collections::HashMap<u64, u32>, out: &mut Vec<u32>) {
+    out.extend(m.values().copied()); // octolint: allow(OCT-LINT-006) -- fixture: pretend this sink is order-insensitive
 }
 
 fn jitter() -> u64 {

@@ -1,0 +1,70 @@
+// Parser-torture fixture: nested closures, macro_rules!, raw strings in
+// match guards, generics in expression position, if-let/else-if chains,
+// condvar-style reassignment, labelled loops. The statement tree this
+// produces is pinned by the `parser_torture_tree_is_stable` test — if
+// the parser regresses it degrades visibly there, never silently.
+
+pub struct Weights {
+    pub w: f64,
+    pub names: std::collections::HashMap<u64, u32>,
+}
+
+macro_rules! noisy {
+    ($x:expr, $($t:tt)*) => {
+        ($x) < 3 && weird! { tokens ( here ) }
+    };
+}
+
+impl Weights {
+    fn tally<T: Into<u64>>(&self, xs: Vec<T>) -> u64 {
+        let mut acc: u64 = 0;
+        for x in xs {
+            let add = |v: u64| -> u64 {
+                if let Some(n) = self.names.get(&v) {
+                    u64::from(*n)
+                } else {
+                    v
+                }
+            };
+            acc += add(x.into());
+        }
+        match acc {
+            0 => 0,
+            n if n > r#"raw "quoted" { brace"#.len() as u64 => {
+                let parsed = "generics in expr position";
+                let cmp = acc < 9 && acc > 2;
+                let _ = (parsed, cmp);
+                n
+            }
+            n => n,
+        }
+    }
+}
+
+fn edge_cases(flag: bool, opt: Option<u64>) -> u64 {
+    let mut total = 0u64;
+    while flag && total < 3 {
+        total += 1;
+    }
+    if flag {
+        total += 2;
+    } else if total == 0 {
+        total += 3;
+    } else {
+        total += 4;
+    }
+    while let Some(v) = opt.filter(|&v| v > total) {
+        total = v;
+        break;
+    }
+    loop {
+        total += 1;
+        if total > 5 {
+            break;
+        }
+    }
+    unsafe {
+        total += 0;
+    }
+    total
+}

@@ -2,13 +2,14 @@
 //! stable-signature style: each rule is demonstrated by a known-bad
 //! fixture whose `//~ CODE` markers pin the exact diagnostic code and
 //! line, a false-positive guard asserts the real tree (with its
-//! justified suppressions) passes clean, and the CLI's script-friendly
-//! exit codes (0 clean / 1 violations / 2 usage error) are exercised
-//! end to end.
+//! justified suppressions) passes clean, the parser-torture fixture
+//! pins the statement tree the dataflow rules consume, and the CLI's
+//! script-friendly exit codes (0 clean / 1 violations / 2 usage error)
+//! are exercised end to end.
 
 use std::path::{Path, PathBuf};
 
-use octopus_lint::{lint_source, lint_tree, Report, RULES};
+use octopus_lint::{lint_source, lint_tree, parse_debug, scan_paths, Report, RULES};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -56,11 +57,40 @@ fn assert_fixture(name: &str, as_path: &str) -> Report {
 }
 
 #[test]
-fn rule_001_nondet_iteration_fires_with_stable_code() {
-    assert_fixture("bad_001_nondet_iteration.rs", "crates/sim/src/bad_001.rs");
+fn rule_006_unordered_flow_fires_with_stable_code() {
+    assert_fixture("bad_006_unordered_flow.rs", "crates/sim/src/bad_006.rs");
     // outside the engine crates the same source is legal
-    let src = fixture("bad_001_nondet_iteration.rs");
+    let src = fixture("bad_006_unordered_flow.rs");
     assert!(lint_source("crates/crypto/src/ok.rs", &src).is_clean());
+}
+
+#[test]
+fn rule_007_float_merge_fires_with_stable_code() {
+    assert_fixture("bad_007_float_merge.rs", "crates/metrics/src/bad_007.rs");
+    // outside the engine crates the same source is legal
+    let src = fixture("bad_007_float_merge.rs");
+    assert!(lint_source("crates/crypto/src/ok.rs", &src).is_clean());
+}
+
+#[test]
+fn rule_008_guard_discipline_fires_with_stable_code() {
+    // the rule is scoped to the two barrier modules by exact path:
+    // the fixture reproduces the PR-8 poisoned-mutex cascade shape
+    assert_fixture("bad_008_guard_discipline.rs", "crates/net/src/pool.rs");
+    let src = fixture("bad_008_guard_discipline.rs");
+    assert!(
+        !lint_source("crates/net/src/world.rs", &src).is_clean(),
+        "world.rs is in guard scope too"
+    );
+    assert!(
+        lint_source("crates/net/src/wire.rs", &src).is_clean(),
+        "other modules keep ordinary lock idioms"
+    );
+}
+
+#[test]
+fn rule_009_barrier_path_fires_with_stable_code() {
+    assert_fixture("bad_009_barrier_path.rs", "crates/net/src/bad_009.rs");
 }
 
 /// `crates/spec` — the executable reference model the differential
@@ -69,10 +99,10 @@ fn rule_001_nondet_iteration_fires_with_stable_code() {
 /// judges, so it gets no exemption from any rule.
 #[test]
 fn reference_model_crate_is_engine_source() {
-    // nondet iteration is a violation in its src tree…
-    assert_fixture("bad_001_nondet_iteration.rs", "crates/spec/src/bad_001.rs");
+    // unordered-iteration dataflow is a violation in its src tree…
+    assert_fixture("bad_006_unordered_flow.rs", "crates/spec/src/bad_006.rs");
     // …though, as for every crate, only in src — tests are exempt
-    let src = fixture("bad_001_nondet_iteration.rs");
+    let src = fixture("bad_006_unordered_flow.rs");
     assert!(lint_source("crates/spec/tests/x.rs", &src).is_clean());
     // and the wall-clock / ambient-rng rules apply as everywhere else
     let clock = fixture("bad_002_wall_clock.rs");
@@ -125,12 +155,34 @@ fn justified_suppressions_silence_and_are_counted() {
     let report = assert_fixture("suppressed_clean.rs", "crates/net/src/suppressed.rs");
     assert!(report.is_clean());
     assert_eq!(report.suppressed, 2, "both allows must be exercised");
+    // the audited inventory is retained for the JSON artifact
+    assert_eq!(report.audited.len(), 2);
+    assert!(report.audited.iter().any(|d| d.code == "OCT-LINT-006"));
+    assert!(report.audited.iter().any(|d| d.code == "OCT-LINT-003"));
 }
 
 #[test]
 fn defective_suppressions_are_themselves_violations() {
     let report = assert_fixture("suppressed_bad.rs", "crates/sim/src/suppressed_bad.rs");
     assert!(report.diagnostics.iter().all(|d| d.code == "OCT-LINT-000"));
+    // the four defect classes: retired rule, never fires, unknown rule,
+    // missing justification
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("retired")));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("never fires")));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("unknown rule")));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("lacks a justification")));
 }
 
 #[test]
@@ -140,8 +192,82 @@ fn lexer_false_positive_guard() {
     assert_eq!(report.suppressed, 0);
 }
 
+/// The statement tree the dataflow/concurrency rules consume, pinned on
+/// the torture fixture (nested closures, `macro_rules!`, raw strings in
+/// match guards, expression-position generics, else-if chains). Any
+/// parser change that reshapes this must update the expectation
+/// consciously.
+#[test]
+fn parser_torture_tree_is_stable() {
+    let tree = parse_debug(&fixture("torture_parse.rs"));
+    assert!(
+        !tree.contains("error "),
+        "torture fixture must parse without structural errors:\n{tree}"
+    );
+    let expected = "\
+fn tally @19
+  let [acc] :ty =init @20:9
+  for [x] @21:9
+    let [add] =init @22:13
+      cond-let [n] @23:17
+        expr @24:21
+        expr @26:21
+    expr @29:13
+  expr @31:9
+    expr @32:13
+    expr @33:13
+      let [parsed] =init @34:17
+      let [cmp] =init @35:17
+      let [] =init @36:17
+      expr @37:17
+    expr @39:13
+fn edge_cases @44
+  let [total] =init @45:5
+  expr @46:5
+    expr @47:9
+  expr @49:5
+    expr @50:9
+    expr @52:9
+    expr @54:9
+  expr @51:15
+  cond-let [v] @56:5
+    expr @57:9
+    expr @58:9
+  expr @60:5
+    expr @61:9
+    expr @62:9
+      expr @63:13
+  expr @66:5
+    expr @67:9
+  expr @69:5
+";
+    assert_eq!(tree, expected, "statement tree diverged:\n{tree}");
+}
+
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Parser totality on the real tree: every scanned file must produce a
+/// structurally error-free statement tree. A file octolint cannot parse
+/// would surface as an OCT-LINT-000 violation in CI — this test points
+/// at the parser directly so the failure names the file.
+#[test]
+fn real_tree_parses_structurally() {
+    let root = workspace_root();
+    let paths = scan_paths(&root).expect("walk workspace");
+    assert!(paths.len() > 60, "walker broke: {} files", paths.len());
+    for rel in paths {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("read");
+        let tree = parse_debug(&src);
+        for line in tree.lines() {
+            assert!(
+                !line.starts_with("error "),
+                "{} does not parse: {line}",
+                rel.display()
+            );
+        }
+    }
 }
 
 /// The VEF false-positive guard on the real tree: the workspace, with
@@ -166,15 +292,23 @@ fn real_tree_passes_clean() {
         report.files_scanned
     );
     assert!(
-        report.suppressed >= 6,
+        report.suppressed >= 5,
         "the audited engine suppressions disappeared ({} left): \
          did someone bulk-delete allows without migrating?",
+        report.suppressed
+    );
+    // the v2 re-audit shrank the allow inventory: a creeping-back blanket
+    // allow population would show up here
+    assert!(
+        report.suppressed <= 10,
+        "allow inventory grew to {}: re-audit before raising this bound",
         report.suppressed
     );
 }
 
 /// Diagnostics are replay-stable: two scans of the same tree produce
-/// byte-identical, path-sorted output.
+/// byte-identical, path-sorted output — and the JSON rendering is
+/// byte-identical too (timings are deliberately excluded from it).
 #[test]
 fn output_is_deterministic_and_sorted() {
     let a = lint_tree(&workspace_root()).expect("scan");
@@ -189,6 +323,31 @@ fn output_is_deterministic_and_sorted() {
     let mut sorted = a.diagnostics.clone();
     sorted.sort();
     assert_eq!(a.diagnostics, sorted);
+    assert_eq!(a.to_json(), b.to_json(), "JSON artifact must diff cleanly");
+}
+
+/// The machine-readable schema the CI artifact uploads: stable keys,
+/// audited suppressions included with `"suppressed": true`.
+#[test]
+fn json_format_exposes_audited_allows() {
+    let report = lint_tree(&workspace_root()).expect("scan");
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": 1"));
+    assert!(json.contains("\"violations\": 0"));
+    assert!(
+        json.contains("\"suppressed\": true"),
+        "audited allows present"
+    );
+    for key in [
+        "\"path\": ",
+        "\"line\": ",
+        "\"col\": ",
+        "\"code\": ",
+        "\"rule\": ",
+        "\"message\": ",
+    ] {
+        assert!(json.contains(key), "schema key {key} missing");
+    }
 }
 
 /// End-to-end exit codes through the real binary: 0 clean, 1 violation,
@@ -213,7 +372,9 @@ fn cli_exit_codes_are_script_friendly() {
     std::fs::create_dir_all(&src_dir).expect("mkdir");
     std::fs::write(
         src_dir.join("bad.rs"),
-        "fn f() { let m = std::collections::HashMap::<u8, u8>::new(); let _ = m; }\n",
+        "fn f(m: &std::collections::HashMap<u8, u8>, out: &mut Vec<u8>) {\n\
+             for k in m.keys() { out.push(*k); }\n\
+         }\n",
     )
     .expect("write");
     let dirty = std::process::Command::new(bin)
@@ -223,7 +384,19 @@ fn cli_exit_codes_are_script_friendly() {
         .expect("run octolint");
     assert_eq!(dirty.status.code(), Some(1), "violations must exit 1");
     let out = String::from_utf8_lossy(&dirty.stdout);
-    assert!(out.contains("OCT-LINT-001"), "diagnostic printed: {out}");
+    assert!(out.contains("OCT-LINT-006"), "diagnostic printed: {out}");
+
+    let json_run = std::process::Command::new(bin)
+        .args(["--format", "json", "--root"])
+        .arg(&bad_root)
+        .output()
+        .expect("run octolint");
+    assert_eq!(json_run.status.code(), Some(1), "json run keeps exit codes");
+    let json = String::from_utf8_lossy(&json_run.stdout);
+    assert!(
+        json.contains("\"code\": \"OCT-LINT-006\""),
+        "json body: {json}"
+    );
 
     let usage = std::process::Command::new(bin)
         .arg("--no-such-flag")

@@ -63,7 +63,7 @@ impl TimeSeries {
             "mismatched bin layout"
         );
         for (s, o) in self.sums.iter_mut().zip(&other.sums) {
-            *s += o;
+            *s += o; // octolint: allow(OCT-LINT-007) -- shard series absorb in fixed shard-index order at the window barrier, so the float bin sums see one canonical operand order
         }
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;

@@ -34,7 +34,7 @@ struct Slot<T> {
 #[derive(Debug)]
 pub struct NodeSlab<T> {
     slots: Vec<Slot<T>>,
-    index: HashMap<Addr, u32>, // octolint: allow(OCT-LINT-001) -- keyed O(1) lookup on the per-event hot path; never iterated
+    index: HashMap<Addr, u32>, // keyed O(1) lookup on the per-event hot path; never iterated
     free: Vec<u32>,
     len: usize,
 }
@@ -51,7 +51,7 @@ impl<T> NodeSlab<T> {
     pub fn new() -> Self {
         NodeSlab {
             slots: Vec::new(),
-            index: HashMap::new(), // octolint: allow(OCT-LINT-001) -- see field: keyed access only
+            index: HashMap::new(),
             free: Vec::new(),
             len: 0,
         }
@@ -62,7 +62,7 @@ impl<T> NodeSlab<T> {
     pub fn with_capacity(capacity: usize) -> Self {
         NodeSlab {
             slots: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity), // octolint: allow(OCT-LINT-001) -- see field: keyed access only
+            index: HashMap::with_capacity(capacity),
             free: Vec::new(),
             len: 0,
         }
