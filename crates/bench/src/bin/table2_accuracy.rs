@@ -42,11 +42,13 @@ fn main() {
     const LIFETIMES_MIN: [u64; 2] = [60, 10];
     // all six (attack × churn) cells are independent sims: run them as
     // one parallel batch
+    let args_ref = &args;
     let points: Vec<_> = attacks
         .iter()
         .flat_map(|&(_, attack, _)| {
             LIFETIMES_MIN.iter().map(move |&lifetime_min| {
-                let mut cfg = args.security_config(attack, 1.0, 100 + lifetime_min + attack as u64);
+                let mut cfg =
+                    args_ref.security_config(attack, 1.0, 100 + lifetime_min + attack as u64);
                 cfg.mean_lifetime = Some(Duration::from_secs(lifetime_min * 60));
                 cfg
             })

@@ -122,7 +122,7 @@ impl Scale {
 /// Shared experiment configuration parsed once per binary: scale, seed,
 /// trial/thread fan-out and scheduler backend, from environment
 /// variables or CLI flags (see the [crate docs](self) for the table).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunArgs {
     /// Experiment scale.
     pub scale: Scale,
@@ -147,6 +147,15 @@ pub struct RunArgs {
     /// parallelism capped at the shard count). Byte-identical at every
     /// width.
     pub pool_threads: usize,
+    /// This process's own endpoint for the UDP transport, as
+    /// `id@host:port` (`octopus-node` only; simulations ignore it).
+    pub addr: Option<String>,
+    /// Comma-separated `id@host:port` peer endpoints for the UDP
+    /// transport's peer table.
+    pub peers: Option<String>,
+    /// Path to an `octopus-node` TOML config file; flags and environment
+    /// variables override values read from it.
+    pub node_config: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -163,6 +172,9 @@ impl Default for RunArgs {
             shards: 1,
             parallel: false,
             pool_threads: 0,
+            addr: None,
+            peers: None,
+            node_config: None,
         }
     }
 }
@@ -218,6 +230,9 @@ impl RunArgs {
                     out.pool_threads = t;
                 }
             }
+            "addr" => out.addr = Some(value.to_string()),
+            "peers" => out.peers = Some(value.to_string()),
+            "node-config" => out.node_config = Some(value.to_string()),
             _ => {}
         };
         for (env_key, key) in [
@@ -229,12 +244,15 @@ impl RunArgs {
             ("OCTOPUS_SHARDS", "shards"),
             ("OCTOPUS_PAR", "par"),
             ("OCTOPUS_POOL_THREADS", "pool-threads"),
+            ("OCTOPUS_ADDR", "addr"),
+            ("OCTOPUS_PEERS", "peers"),
+            ("OCTOPUS_NODE_CONFIG", "node-config"),
         ] {
             if let Some(v) = env(env_key) {
                 apply(key, &v);
             }
         }
-        const KNOWN_FLAGS: [&str; 8] = [
+        const KNOWN_FLAGS: [&str; 11] = [
             "scale",
             "seed",
             "threads",
@@ -243,6 +261,9 @@ impl RunArgs {
             "shards",
             "par",
             "pool-threads",
+            "addr",
+            "peers",
+            "node-config",
         ];
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
@@ -426,6 +447,42 @@ mod tests {
         let a = RunArgs::parse(&with_stray, no_env);
         assert!(a.parallel);
         assert_eq!(a.scale, Scale::Full);
+    }
+
+    #[test]
+    fn transport_knobs_parse_from_flags_and_env() {
+        let flags: Vec<String> = [
+            "--addr",
+            "1@127.0.0.1:7001",
+            "--peers=2@127.0.0.1:7002,3@127.0.0.1:7003",
+            "--node-config",
+            "node.toml",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let a = RunArgs::parse(&flags, no_env);
+        assert_eq!(a.addr.as_deref(), Some("1@127.0.0.1:7001"));
+        assert_eq!(
+            a.peers.as_deref(),
+            Some("2@127.0.0.1:7002,3@127.0.0.1:7003")
+        );
+        assert_eq!(a.node_config.as_deref(), Some("node.toml"));
+
+        let env = |k: &str| match k {
+            "OCTOPUS_ADDR" => Some("9@10.0.0.1:9000".to_string()),
+            "OCTOPUS_PEERS" => Some("8@10.0.0.2:9000".to_string()),
+            "OCTOPUS_NODE_CONFIG" => Some("/etc/octopus.toml".to_string()),
+            _ => None,
+        };
+        let a = RunArgs::parse(&[], env);
+        assert_eq!(a.addr.as_deref(), Some("9@10.0.0.1:9000"));
+        assert_eq!(a.peers.as_deref(), Some("8@10.0.0.2:9000"));
+        assert_eq!(a.node_config.as_deref(), Some("/etc/octopus.toml"));
+
+        // flags override env, like every other knob
+        let a = RunArgs::parse(&flags, env);
+        assert_eq!(a.addr.as_deref(), Some("1@127.0.0.1:7001"));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use octopus_id::NodeId;
 use octopus_net::{
-    Addr, ConstantLatency, Ctx, NodeBehavior, SchedulerKind, StepOutcome, WireMsg, World,
+    Addr, ConstantLatency, NodeBehavior, Runtime, SchedulerKind, StepOutcome, WireMsg, World,
 };
 use octopus_sim::{Duration, SimTime};
 
@@ -43,15 +43,15 @@ impl NodeBehavior for GossipNode {
     type Timer = ();
     type Control = ();
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Gossip, (), ()>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<Gossip, (), ()>) {
         // stagger the first tick so load spreads over the horizon
         let phase = ctx.addr().0 % 300_000;
         ctx.set_timer(Duration(phase), ());
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Gossip, (), ()>, _from: Addr, _msg: Gossip) {}
+    fn on_message(&mut self, _ctx: &mut dyn Runtime<Gossip, (), ()>, _from: Addr, _msg: Gossip) {}
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Gossip, (), ()>, (): ()) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<Gossip, (), ()>, (): ()) {
         let dest = if self.tick % 2 == 0 {
             self.near
         } else {

@@ -16,7 +16,7 @@ use crate::table::RoutingTable;
 /// certificate attached (as in the random walk of Appendix I: "each
 /// replied fingertable is signed by its owner with the owner's
 /// certificate attached").
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SignedRoutingTable {
     /// The signed content.
     pub table: RoutingTable,

@@ -126,6 +126,51 @@ impl RoutingTable {
         }
         out
     }
+
+    /// Inverse of [`RoutingTable::encode`]: parse a canonical encoding,
+    /// requiring every byte to be consumed. Returns `None` on any
+    /// malformation (wrong tag, length lies, truncation, trailing
+    /// bytes) — never panics. Because the decode accepts exactly the
+    /// canonical form, a table that roundtrips still carries valid
+    /// signatures over its re-encoding.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let owner = NodeId(u64::from_be_bytes(take(&mut pos, 8)?.try_into().ok()?));
+        let mut lists: [Vec<NodeId>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (tag, slot) in lists.iter_mut().enumerate() {
+            if *take(&mut pos, 1)?.first()? != tag as u8 {
+                return None;
+            }
+            let len = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+            // each id is 8 bytes: a forged length cannot pass this gate,
+            // so allocation stays bounded by the input size
+            if len.checked_mul(8)? > bytes.len() - pos {
+                return None;
+            }
+            slot.reserve(len);
+            for _ in 0..len {
+                slot.push(NodeId(u64::from_be_bytes(
+                    take(&mut pos, 8)?.try_into().ok()?,
+                )));
+            }
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        let [fingers, successors, predecessors] = lists;
+        Some(RoutingTable {
+            owner,
+            fingers,
+            successors,
+            predecessors,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +184,37 @@ mod tests {
             successors: vec![NodeId(110), NodeId(120), NodeId(130)],
             predecessors: vec![NodeId(90), NodeId(80)],
         }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = table();
+        let bytes = t.encode();
+        let back = RoutingTable::decode(&bytes).expect("canonical bytes decode");
+        assert_eq!(back, t);
+        // signature stability: re-encoding the decode is byte-identical
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let bytes = table().encode();
+        // every truncation
+        for cut in 0..bytes.len() {
+            assert!(RoutingTable::decode(&bytes[..cut]).is_none(), "cut={cut}");
+        }
+        // trailing garbage
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(RoutingTable::decode(&padded).is_none());
+        // wrong section tag
+        let mut bad_tag = bytes.clone();
+        bad_tag[8] = 7;
+        assert!(RoutingTable::decode(&bad_tag).is_none());
+        // forged length prefix
+        let mut bad_len = bytes;
+        bad_len[9..13].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(RoutingTable::decode(&bad_len).is_none());
     }
 
     #[test]

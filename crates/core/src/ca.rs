@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use octopus_chord::{stabilize, SignedSuccessorList};
 use octopus_crypto::{CertificateAuthority, PublicKey};
 use octopus_id::NodeId;
-use octopus_net::{Addr, Ctx, NodeBehavior};
+use octopus_net::{Addr, NodeBehavior, Runtime};
 use octopus_spec::ReportKind;
 
 use crate::config::OctopusConfig;
@@ -26,7 +26,7 @@ use crate::mutation::{self, Mutation};
 use crate::simnet::{Control, ReportCat, Verdict};
 use crate::trace::TraceEvent;
 
-type CaCtx<'a> = Ctx<'a, Msg, Timer, Control>;
+type CaCtx<'a> = dyn Runtime<Msg, Timer, Control> + 'a;
 
 /// An open investigation.
 #[derive(Debug)]

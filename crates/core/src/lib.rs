@@ -36,6 +36,7 @@
 
 pub mod adversary;
 pub mod ca;
+pub mod codec;
 pub mod config;
 pub mod lookup;
 pub mod messages;

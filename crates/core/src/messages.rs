@@ -26,7 +26,7 @@ pub struct Hop {
 }
 
 /// What the exit relay does when the onion is fully unwrapped.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExitAction {
     /// Query `target` for its routing table on the initiator's behalf
     /// (the exit sees the target but not the initiator; the target sees
@@ -56,7 +56,7 @@ pub enum ExitAction {
 /// DESIGN.md (adversarial code only reads fields a real relay could
 /// decrypt: its predecessor hop, its successor hop, and — at the exit —
 /// the action).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OnionPacket {
     /// Flow id correlating the forward path with its reply path.
     pub flow: u64,
@@ -107,7 +107,7 @@ pub fn receipt_bytes(flow: u64) -> [u8; 15] {
 }
 
 /// An attack report filed with the CA.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Report {
     /// A signed successor list omits a live, stable node it should
     /// contain. Filed by secret neighbor surveillance (§4.3, where the
@@ -172,7 +172,7 @@ impl Report {
 }
 
 /// Protocol messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg {
     // ---- Chord maintenance (direct, non-anonymous) ----
     /// Request the receiver's signed successor list (stabilization).

@@ -17,7 +17,7 @@ use octopus_chord::{
 };
 use octopus_crypto::{Certificate, KeyPair, PublicKey};
 use octopus_id::{Key, NodeId};
-use octopus_net::{Addr, Ctx, NodeBehavior};
+use octopus_net::{Addr, NodeBehavior, Runtime};
 use octopus_sim::Duration;
 use rand::Rng;
 
@@ -34,7 +34,7 @@ use crate::trace::TraceEvent;
 use crate::walk::{DelegatedWalk, WalkState};
 
 /// Handler context alias used throughout the node implementation.
-pub(crate) type NodeCtx<'a> = Ctx<'a, Msg, Timer, Control>;
+pub(crate) type NodeCtx<'a> = dyn Runtime<Msg, Timer, Control> + 'a;
 
 /// Why an anonymous (onion-routed) query was sent — recalled when the
 /// reply comes back on the flow.

@@ -16,7 +16,7 @@ use octopus_chord::ChordConfig;
 use octopus_crypto::{CertificateAuthority, KeyPair};
 use octopus_id::{IdSpace, Key, NodeId, ShardedIdSpace};
 use octopus_metrics::{merge_point_series, Merge};
-use octopus_net::{Addr, Ctx, KingLikeLatency, NodeBehavior, World};
+use octopus_net::{Addr, KingLikeLatency, NodeBehavior, Runtime, World};
 use octopus_sim::{derive_rng, ChurnProcess, Duration, SchedulerKind, SimTime};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -134,21 +134,21 @@ impl NodeBehavior for Actor {
     type Timer = Timer;
     type Control = Control;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg, Timer, Control>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<Msg, Timer, Control>) {
         match self {
             Actor::Peer(n) => n.on_start(ctx),
             Actor::Ca(c) => c.on_start(ctx),
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg, Timer, Control>, from: Addr, msg: Msg) {
+    fn on_message(&mut self, ctx: &mut dyn Runtime<Msg, Timer, Control>, from: Addr, msg: Msg) {
         match self {
             Actor::Peer(n) => n.on_message(ctx, from, msg),
             Actor::Ca(c) => c.on_message(ctx, from, msg),
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg, Timer, Control>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<Msg, Timer, Control>, timer: Timer) {
         match self {
             Actor::Peer(n) => n.on_timer(ctx, timer),
             Actor::Ca(c) => c.on_timer(ctx, timer),

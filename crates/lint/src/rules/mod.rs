@@ -22,10 +22,21 @@ pub(crate) const ENGINE_SRC: &[&str] = &[
     "crates/spec/src/",
 ];
 
-/// `OCT-LINT-002` exemption: the bench harness times real wall-clock.
-/// (`octolint`'s own `--timing` helper is *not* exempt — it carries a
-/// justified allow, dogfooding the suppression audit.)
-pub(crate) const WALL_CLOCK_EXEMPT: &[&str] = &["crates/bench/"];
+/// `OCT-LINT-002` exemptions: the bench harness times real wall-clock,
+/// and `crates/transport` is the sanctioned home for real time — its
+/// UDP host keys the timer wheel off `Instant` by design, *outside* the
+/// deterministic engine boundary. (`octolint`'s own `--timing` helper
+/// is *not* exempt — it carries a justified allow, dogfooding the
+/// suppression audit.)
+pub(crate) const WALL_CLOCK_EXEMPT: &[&str] = &["crates/bench/", "crates/transport/"];
+
+/// `OCT-LINT-003` exemption: `crates/transport` is the sanctioned home
+/// for deployment-facing entropy. Note the crate *still* derives every
+/// RNG from the master seed (`derive_rng`/`split_seed`) — the exemption
+/// records that ambient entropy would be *architecturally acceptable*
+/// there (it sits outside the replayed engine), not that it is used.
+/// Engine crates keep the rule unconditionally.
+pub(crate) const AMBIENT_RNG_EXEMPT: &[&str] = &["crates/transport/"];
 
 /// `OCT-LINT-004` exemptions: the three sanctioned fan-out sizing
 /// sites (trial fan-out, CLI parsing, and the shard worker pool —

@@ -7,7 +7,10 @@
 //! sinks — instead of every type mention. Keyed-access-only maps no
 //! longer need an allow.
 
-use super::{has_prefix, seq, Candidate, FileCtx, THREAD_IDENTITY_EXEMPT, WALL_CLOCK_EXEMPT};
+use super::{
+    has_prefix, seq, Candidate, FileCtx, AMBIENT_RNG_EXEMPT, THREAD_IDENTITY_EXEMPT,
+    WALL_CLOCK_EXEMPT,
+};
 
 pub(crate) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Candidate>) {
     let rel_path = ctx.rel;
@@ -46,24 +49,33 @@ pub(crate) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Candidate>) {
                 });
             }
             // OCT-LINT-003 — ambient randomness
-            "thread_rng" | "from_entropy" | "OsRng" => out.push(Candidate {
-                line: t.line,
-                col: t.col,
-                code: "OCT-LINT-003",
-                message: format!(
-                    "`{}` draws ambient entropy: every RNG must derive from the master \
-                     seed via `derive_rng`/`split_seed`",
-                    t.text
-                ),
-            }),
-            "rand" if seq(tokens, i, &["rand", ":", ":", "random"]) => out.push(Candidate {
-                line: t.line,
-                col: t.col,
-                code: "OCT-LINT-003",
-                message: "`rand::random` draws from the ambient thread RNG: derive a seeded \
-                          stream via `derive_rng`/`split_seed`"
-                    .to_string(),
-            }),
+            "thread_rng" | "from_entropy" | "OsRng"
+                if !has_prefix(rel_path, AMBIENT_RNG_EXEMPT) =>
+            {
+                out.push(Candidate {
+                    line: t.line,
+                    col: t.col,
+                    code: "OCT-LINT-003",
+                    message: format!(
+                        "`{}` draws ambient entropy: every RNG must derive from the master \
+                         seed via `derive_rng`/`split_seed`",
+                        t.text
+                    ),
+                });
+            }
+            "rand"
+                if seq(tokens, i, &["rand", ":", ":", "random"])
+                    && !has_prefix(rel_path, AMBIENT_RNG_EXEMPT) =>
+            {
+                out.push(Candidate {
+                    line: t.line,
+                    col: t.col,
+                    code: "OCT-LINT-003",
+                    message: "`rand::random` draws from the ambient thread RNG: derive a \
+                              seeded stream via `derive_rng`/`split_seed`"
+                        .to_string(),
+                });
+            }
             // OCT-LINT-004 — thread-identity leakage
             "available_parallelism" | "ThreadId" if !THREAD_IDENTITY_EXEMPT.contains(&rel_path) => {
                 out.push(Candidate {

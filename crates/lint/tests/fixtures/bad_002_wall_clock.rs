@@ -1,6 +1,7 @@
 // Known-bad fixture: OCT-LINT-002 wall-clock.
-// Linted under crates/net/src/bad_002.rs (and asserted exempt under a
-// crates/bench/ path, where timing real wall-clock is the whole job).
+// Linted under crates/net/src/bad_002.rs (and asserted exempt under
+// crates/bench/ paths, where timing real wall-clock is the whole job,
+// and crates/transport/ paths, where the UDP host runs on real time).
 
 fn how_long() -> u128 {
     let t0 = std::time::Instant::now(); //~ OCT-LINT-002

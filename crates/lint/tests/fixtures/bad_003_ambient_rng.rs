@@ -1,6 +1,7 @@
 // Known-bad fixture: OCT-LINT-003 ambient-rng.
-// Linted under crates/core/src/bad_003.rs; the rule applies everywhere
-// (there is no crate where ambient entropy is part of the contract).
+// Linted under crates/core/src/bad_003.rs; the rule applies to every
+// crate except crates/transport/, the deployment boundary outside the
+// replayed engine (which nonetheless seeds all its RNGs in practice).
 
 fn roll() -> u64 {
     let mut rng = rand::thread_rng(); //~ OCT-LINT-003

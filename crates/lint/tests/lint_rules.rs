@@ -114,18 +114,30 @@ fn reference_model_crate_is_engine_source() {
 #[test]
 fn rule_002_wall_clock_fires_with_stable_code() {
     assert_fixture("bad_002_wall_clock.rs", "crates/net/src/bad_002.rs");
-    // crates/bench times real wall-clock by design
+    // crates/bench times real wall-clock by design, and the UDP
+    // transport host keys its timer wheel off `Instant` by design
     let src = fixture("bad_002_wall_clock.rs");
     assert!(lint_source("crates/bench/src/ok.rs", &src).is_clean());
+    assert!(lint_source("crates/transport/src/host.rs", &src).is_clean());
+    // the exemption is the whole crate (its smoke test spawns real
+    // processes on wall-clock deadlines), but stops at the crate root
+    assert!(lint_source("crates/transport/tests/smoke.rs", &src).is_clean());
+    assert!(!lint_source("crates/transport2/src/x.rs", &src).is_clean());
 }
 
 #[test]
 fn rule_003_ambient_rng_fires_with_stable_code() {
     assert_fixture("bad_003_ambient_rng.rs", "crates/core/src/bad_003.rs");
-    // no exemption anywhere: ambient entropy is never part of the contract
+    // the engine keeps the rule everywhere: ambient entropy is never
+    // part of the replayed contract
     let src = fixture("bad_003_ambient_rng.rs");
     assert!(!lint_source("examples/demo.rs", &src).is_clean());
     assert!(!lint_source("crates/anonymity/src/x.rs", &src).is_clean());
+    // the sole exemption is the deployment transport crate, which sits
+    // outside the replay boundary (and in practice still seeds its RNGs
+    // from the master seed — see `crates/transport/src/host.rs`)
+    assert!(lint_source("crates/transport/src/host.rs", &src).is_clean());
+    assert!(!lint_source("crates/transport2/src/x.rs", &src).is_clean());
 }
 
 #[test]

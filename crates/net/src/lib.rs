@@ -35,6 +35,7 @@
 
 pub mod latency;
 pub mod pool;
+pub mod runtime;
 pub mod shard;
 pub mod slab;
 pub mod wire;
@@ -42,7 +43,11 @@ pub mod world;
 
 pub use latency::{ConstantLatency, KingLikeLatency, LatencyModel};
 pub use octopus_sim::SchedulerKind;
+pub use runtime::{Addr, Ctx, NodeBehavior, Runtime, Transport};
 pub use shard::{CrossShardBus, Envelope, ShardMap};
 pub use slab::{NodeSlab, SlotKey};
-pub use wire::{sizes, BandwidthLedger, WireMsg};
-pub use world::{Addr, Ctx, NodeBehavior, StepOutcome, World};
+pub use wire::{
+    decode_frame, encode_frame, sizes, BandwidthLedger, DecodeError, FrameError, FrameHeader,
+    PayloadReader, WireCodec, WireMsg,
+};
+pub use world::{StepOutcome, World};

@@ -11,6 +11,7 @@
 
 use octopus_sim::SimTime;
 
+use crate::wire::FrameHeader;
 use crate::world::Addr;
 
 /// Contiguous-range ownership of the 64-bit ID space by `count` shards.
@@ -87,6 +88,11 @@ impl ShardMap {
 
 /// A message parked between shards, carrying the full global ordering
 /// key it was assigned at send time.
+///
+/// Addressing lives in the embedded [`FrameHeader`] — the same header
+/// type [`crate::wire::encode_frame`] serializes for the UDP transport,
+/// so the simulator's in-memory framing and the on-the-wire framing are
+/// one representation and can never drift apart.
 #[derive(Debug)]
 pub struct Envelope<M> {
     /// Delivery time (send time + link latency + artificial delay).
@@ -95,10 +101,8 @@ pub struct Envelope<M> {
     /// sender's own counter when the send was routed — no cross-shard
     /// coordination needed.
     pub seq: u128,
-    /// Sender address.
-    pub from: Addr,
-    /// Destination address.
-    pub to: Addr,
+    /// Sender and destination addresses (the codec-owned frame header).
+    pub header: FrameHeader,
     /// The message itself.
     pub msg: M,
 }
@@ -246,8 +250,10 @@ mod tests {
             Envelope {
                 at: SimTime::from_millis(30),
                 seq: 5,
-                from: NodeId(1),
-                to: NodeId(9),
+                header: FrameHeader {
+                    from: NodeId(1),
+                    to: NodeId(9),
+                },
                 msg: "b",
             },
         );
@@ -256,8 +262,10 @@ mod tests {
             Envelope {
                 at: SimTime::from_millis(10),
                 seq: 6,
-                from: NodeId(2),
-                to: NodeId(3),
+                header: FrameHeader {
+                    from: NodeId(2),
+                    to: NodeId(3),
+                },
                 msg: "a",
             },
         );

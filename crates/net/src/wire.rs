@@ -1,4 +1,4 @@
-//! Wire-size model and bandwidth accounting.
+//! Wire-size model, bandwidth accounting, and the versioned frame codec.
 //!
 //! The paper's bandwidth numbers (Table 3) are computed from a byte model
 //! given in footnote 4: each routing-state item (finger or successor) is
@@ -7,6 +7,15 @@
 //! blocks). We adopt exactly those constants so our bandwidth estimates
 //! are comparable with the paper's, independent of our toy crypto's real
 //! sizes.
+//!
+//! The frame codec ([`encode_frame`] / [`decode_frame`]) is the *real*
+//! byte format the UDP transport ships: a length-prefixed frame carrying
+//! magic, schema version, a checksum, the [`FrameHeader`] (sender and
+//! destination overlay addresses) and a [`WireCodec`]-encoded payload.
+//! Malformed input of any kind is rejected with a [`FrameError`] — the
+//! decoder never panics, no matter the bytes. The simulator carries the
+//! same [`FrameHeader`] in-memory inside [`crate::shard::Envelope`], so
+//! there is exactly one place that says what a frame's addressing means.
 
 use std::collections::HashMap;
 
@@ -51,6 +60,290 @@ pub trait WireMsg {
     /// Bytes this message occupies on the wire (excluding UDP headers,
     /// which the ledger adds per datagram).
     fn wire_bytes(&self) -> u32;
+}
+
+/// Frame magic: the first four bytes of every Octopus datagram.
+pub const FRAME_MAGIC: [u8; 4] = *b"OCT0";
+
+/// Schema version carried in every frame. Bump on any incompatible
+/// payload-encoding change; decoders reject mismatches outright rather
+/// than guessing.
+pub const SCHEMA_VERSION: u16 = 1;
+
+/// Hard ceiling on a frame's payload length. Anything larger than a
+/// UDP datagram can carry is rejected before allocation, so a forged
+/// length field cannot make the decoder reserve memory.
+pub const MAX_PAYLOAD: usize = 64 * 1024;
+
+/// Bytes of frame overhead before the payload: magic (4) + version (2)
+/// + payload length (4) + checksum (4) + from (8) + to (8).
+pub const FRAME_OVERHEAD: usize = 30;
+
+/// The addressing header every frame carries — and the same header the
+/// simulator's [`crate::shard::Envelope`] embeds, so the in-memory and
+/// on-the-wire representations can never drift apart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Sender overlay address.
+    pub from: NodeId,
+    /// Destination overlay address.
+    pub to: NodeId,
+}
+
+/// Why a payload failed to decode. Carried inside
+/// [`FrameError::BadPayload`]; payload decoders return it instead of
+/// panicking on adversarial bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before a field was complete.
+    Truncated,
+    /// An enum discriminant byte had no meaning.
+    BadTag(u8),
+    /// A length prefix was inconsistent with the bytes that remain.
+    BadLength,
+    /// Recursive payloads nested deeper than any honest encoder emits.
+    TooDeep,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "payload truncated mid-field"),
+            DecodeError::BadTag(t) => write!(f, "unknown discriminant {t}"),
+            DecodeError::BadLength => write!(f, "length prefix exceeds remaining bytes"),
+            DecodeError::TooDeep => write!(f, "nested payload exceeds depth bound"),
+        }
+    }
+}
+
+/// Why a frame was rejected. Every malformed input maps to one of
+/// these; none of them panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the fixed frame overhead.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes present.
+        have: usize,
+    },
+    /// The first four bytes were not [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The schema version did not match [`SCHEMA_VERSION`].
+    BadVersion(u16),
+    /// The length prefix disagreed with the datagram size or exceeded
+    /// [`MAX_PAYLOAD`].
+    BadLength {
+        /// Payload length the prefix claimed.
+        claimed: usize,
+        /// Payload bytes actually present.
+        have: usize,
+    },
+    /// The checksum over header addresses + payload did not verify.
+    BadChecksum {
+        /// Checksum carried by the frame.
+        got: u32,
+        /// Checksum recomputed from the bytes.
+        want: u32,
+    },
+    /// The payload failed structural decoding.
+    BadPayload(DecodeError),
+    /// The payload decoded but left unconsumed trailing bytes.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { need, have } => {
+                write!(f, "frame truncated: need {need} bytes, have {have}")
+            }
+            FrameError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            FrameError::BadVersion(v) => {
+                write!(f, "schema version {v} (this build speaks {SCHEMA_VERSION})")
+            }
+            FrameError::BadLength { claimed, have } => {
+                write!(
+                    f,
+                    "length prefix claims {claimed} payload bytes, have {have}"
+                )
+            }
+            FrameError::BadChecksum { got, want } => {
+                write!(f, "checksum {got:#010x}, recomputed {want:#010x}")
+            }
+            FrameError::BadPayload(e) => write!(f, "payload: {e}"),
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Bounds-checked cursor over a payload slice. Every read returns
+/// `Err(DecodeError::Truncated)` past the end instead of panicking.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    /// Read a `u32` element count and sanity-check it against the bytes
+    /// that remain (each element occupies at least `min_elem_bytes`),
+    /// so a forged count cannot drive allocation.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(DecodeError::BadLength);
+        }
+        Ok(n)
+    }
+}
+
+/// Payload encoding: the schema-versioned byte representation framed by
+/// [`encode_frame`] / [`decode_frame`]. Implemented by the protocol
+/// message enum in `octopus-core`; any change to an implementation is a
+/// [`SCHEMA_VERSION`] bump.
+pub trait WireCodec: Sized {
+    /// Append this value's canonical bytes to `out`.
+    fn encode_payload(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the reader. Must consume exactly the bytes
+    /// [`WireCodec::encode_payload`] produced and reject (never panic
+    /// on) anything else.
+    fn decode_payload(r: &mut PayloadReader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// FNV-1a over the checksum-covered region (addresses + payload).
+/// Detects corruption, not tampering — authenticity comes from the
+/// protocol's signatures, not the frame.
+fn fnv1a(chunks: &[&[u8]]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
+/// Encode one frame: `magic ∥ version ∥ payload_len ∥ checksum ∥ from ∥
+/// to ∥ payload`.
+///
+/// # Panics
+///
+/// If the encoded payload exceeds [`MAX_PAYLOAD`] — honest encoders
+/// never produce such a message, so this is a programming error, not an
+/// input error.
+#[must_use]
+pub fn encode_frame<M: WireCodec>(header: FrameHeader, msg: &M) -> Vec<u8> {
+    let mut payload = Vec::new();
+    msg.encode_payload(&mut payload);
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "frame payload {} exceeds MAX_PAYLOAD",
+        payload.len()
+    );
+    let from = header.from.0.to_be_bytes();
+    let to = header.to.0.to_be_bytes();
+    let checksum = fnv1a(&[&from, &to, &payload]);
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&checksum.to_be_bytes());
+    out.extend_from_slice(&from);
+    out.extend_from_slice(&to);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode one frame produced by [`encode_frame`]. Rejects — never
+/// panics on — truncation, bad magic, version skew, length lies,
+/// checksum mismatches, undecodable payloads and trailing garbage.
+pub fn decode_frame<M: WireCodec>(bytes: &[u8]) -> Result<(FrameHeader, M), FrameError> {
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(FrameError::Truncated {
+            need: FRAME_OVERHEAD,
+            have: bytes.len(),
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_be_bytes([bytes[4], bytes[5]]);
+    if version != SCHEMA_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let claimed = u32::from_be_bytes(bytes[6..10].try_into().expect("4-byte slice")) as usize;
+    let have = bytes.len() - FRAME_OVERHEAD;
+    if claimed != have || claimed > MAX_PAYLOAD {
+        return Err(FrameError::BadLength { claimed, have });
+    }
+    let got = u32::from_be_bytes(bytes[10..14].try_into().expect("4-byte slice"));
+    let from_bytes = &bytes[14..22];
+    let to_bytes = &bytes[22..30];
+    let payload = &bytes[FRAME_OVERHEAD..];
+    let want = fnv1a(&[from_bytes, to_bytes, payload]);
+    if got != want {
+        return Err(FrameError::BadChecksum { got, want });
+    }
+    let header = FrameHeader {
+        from: NodeId(u64::from_be_bytes(
+            from_bytes.try_into().expect("8-byte slice"),
+        )),
+        to: NodeId(u64::from_be_bytes(
+            to_bytes.try_into().expect("8-byte slice"),
+        )),
+    };
+    let mut r = PayloadReader::new(payload);
+    let msg = M::decode_payload(&mut r).map_err(FrameError::BadPayload)?;
+    if r.remaining() != 0 {
+        return Err(FrameError::TrailingBytes(r.remaining()));
+    }
+    Ok((header, msg))
 }
 
 /// Per-node sent/received byte counters.
@@ -182,5 +475,118 @@ mod tests {
         l.reset();
         assert_eq!(l.total_bytes(), 0);
         assert_eq!(l.sent_by(NodeId(1)), 0);
+    }
+
+    /// Minimal payload codec for exercising the framing layer alone.
+    #[derive(Debug, PartialEq, Eq)]
+    struct Ping(u64);
+
+    impl WireCodec for Ping {
+        fn encode_payload(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.0.to_be_bytes());
+        }
+        fn decode_payload(r: &mut PayloadReader<'_>) -> Result<Self, DecodeError> {
+            Ok(Ping(r.u64()?))
+        }
+    }
+
+    fn header() -> FrameHeader {
+        FrameHeader {
+            from: NodeId(3),
+            to: NodeId(u64::MAX),
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = encode_frame(header(), &Ping(0xdead_beef));
+        assert_eq!(frame.len(), FRAME_OVERHEAD + 8);
+        let (h, msg) = decode_frame::<Ping>(&frame).expect("roundtrip");
+        assert_eq!(h, header());
+        assert_eq!(msg, Ping(0xdead_beef));
+    }
+
+    #[test]
+    fn frame_rejects_every_truncation() {
+        let frame = encode_frame(header(), &Ping(7));
+        for cut in 0..frame.len() {
+            let r = decode_frame::<Ping>(&frame[..cut]);
+            assert!(r.is_err(), "accepted a {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn frame_rejects_bad_magic() {
+        let mut frame = encode_frame(header(), &Ping(7));
+        frame[0] ^= 0xff;
+        assert!(matches!(
+            decode_frame::<Ping>(&frame),
+            Err(FrameError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn frame_rejects_version_skew() {
+        let mut frame = encode_frame(header(), &Ping(7));
+        frame[5] = frame[5].wrapping_add(1);
+        assert!(matches!(
+            decode_frame::<Ping>(&frame),
+            Err(FrameError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn frame_rejects_flipped_checksum_and_payload_corruption() {
+        let mut frame = encode_frame(header(), &Ping(7));
+        frame[10] ^= 0x01; // checksum field itself
+        assert!(matches!(
+            decode_frame::<Ping>(&frame),
+            Err(FrameError::BadChecksum { .. })
+        ));
+        let mut frame = encode_frame(header(), &Ping(7));
+        let last = frame.len() - 1;
+        frame[last] ^= 0x80; // payload byte: checksum must catch it
+        assert!(matches!(
+            decode_frame::<Ping>(&frame),
+            Err(FrameError::BadChecksum { .. })
+        ));
+        let mut frame = encode_frame(header(), &Ping(7));
+        frame[20] ^= 0x04; // header address byte: also covered
+        assert!(matches!(
+            decode_frame::<Ping>(&frame),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_rejects_length_lies_and_trailing_bytes() {
+        let mut frame = encode_frame(header(), &Ping(7));
+        frame[9] = frame[9].wrapping_add(1); // length prefix no longer matches
+        assert!(matches!(
+            decode_frame::<Ping>(&frame),
+            Err(FrameError::BadLength { .. })
+        ));
+        // a frame whose payload is longer than the codec consumes
+        let inner = encode_frame(header(), &Ping(7));
+        let mut padded = inner[..FRAME_OVERHEAD].to_vec();
+        let mut payload = inner[FRAME_OVERHEAD..].to_vec();
+        payload.push(0xaa);
+        padded[6..10].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+        let from = header().from.0.to_be_bytes();
+        let to = header().to.0.to_be_bytes();
+        let sum = fnv1a(&[&from, &to, &payload]);
+        padded[10..14].copy_from_slice(&sum.to_be_bytes());
+        padded.extend_from_slice(&payload);
+        assert_eq!(
+            decode_frame::<Ping>(&padded),
+            Err(FrameError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn seq_len_guards_allocation() {
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0, 0];
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.seq_len(8), Err(DecodeError::BadLength));
     }
 }

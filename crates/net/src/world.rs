@@ -53,7 +53,6 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use octopus_id::NodeId;
 use octopus_sim::{
     derive_rng, split_seed, Duration, EventQueue, LookaheadWindow, SchedulerKind, SimTime,
 };
@@ -63,97 +62,9 @@ use crate::latency::LatencyModel;
 use crate::pool::{self, ShardPool};
 use crate::shard::{CrossShardBus, Envelope, ShardMap};
 use crate::slab::NodeSlab;
-use crate::wire::{BandwidthLedger, WireMsg};
+use crate::wire::{BandwidthLedger, FrameHeader, WireMsg};
 
-/// Overlay address. Octopus identifies peers by ring id; the simulated
-/// transport maps ids directly to "IP addresses".
-pub type Addr = NodeId;
-
-/// A protocol node hosted in a [`World`].
-pub trait NodeBehavior {
-    /// Message type exchanged between nodes.
-    type Msg: WireMsg;
-    /// Per-node timer kinds.
-    type Timer;
-    /// Control events surfaced to the simulation driver.
-    type Control;
-
-    /// Handle a delivered message.
-    fn on_message(
-        &mut self,
-        ctx: &mut Ctx<'_, Self::Msg, Self::Timer, Self::Control>,
-        from: Addr,
-        msg: Self::Msg,
-    );
-
-    /// Handle an expired timer.
-    fn on_timer(
-        &mut self,
-        ctx: &mut Ctx<'_, Self::Msg, Self::Timer, Self::Control>,
-        timer: Self::Timer,
-    );
-
-    /// Called once when the node is inserted into the world (schedule
-    /// initial timers here).
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer, Self::Control>) {
-        let _ = ctx;
-    }
-}
-
-/// Handler context: lets a node send messages, set timers, emit control
-/// events, and draw randomness — all without direct access to the world.
-///
-/// The buffers behind a `Ctx` are owned by the shard's buffer pool and
-/// reused across events; handlers only ever see them empty.
-pub struct Ctx<'a, M, T, C> {
-    now: SimTime,
-    self_addr: Addr,
-    rng: &'a mut StdRng,
-    outbox: &'a mut Vec<(Addr, M, Duration)>,
-    timers: &'a mut Vec<(Duration, T)>,
-    controls: &'a mut Vec<C>,
-}
-
-impl<M, T, C> Ctx<'_, M, T, C> {
-    /// Current simulation time.
-    #[must_use]
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// This node's own address.
-    #[must_use]
-    pub fn addr(&self) -> Addr {
-        self.self_addr
-    }
-
-    /// Send `msg` to `to` (latency sampled by the world).
-    pub fn send(&mut self, to: Addr, msg: M) {
-        self.outbox.push((to, msg, Duration::ZERO));
-    }
-
-    /// Send with an *additional* artificial delay before transmission —
-    /// used by the middle relay B, which delays forwarded messages by a
-    /// random amount to defeat timing analysis (paper §4.7).
-    pub fn send_delayed(&mut self, to: Addr, msg: M, extra: Duration) {
-        self.outbox.push((to, msg, extra));
-    }
-
-    /// Arm a timer to fire after `delay`.
-    pub fn set_timer(&mut self, delay: Duration, timer: T) {
-        self.timers.push((delay, timer));
-    }
-
-    /// Emit a control event to the simulation driver.
-    pub fn emit(&mut self, control: C) {
-        self.controls.push(control);
-    }
-
-    /// This node's deterministic RNG stream.
-    pub fn rng(&mut self) -> &mut StdRng {
-        self.rng
-    }
-}
+pub use crate::runtime::{Addr, Ctx, NodeBehavior, Runtime, Transport};
 
 /// A protocol event on a shard queue (driver controls live on their own
 /// world-level queue).
@@ -284,20 +195,20 @@ impl<B: NodeBehavior> Shard<B> {
         hosted: &mut Hosted<B>,
         f: F,
     ) where
-        F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
+        F: FnOnce(&mut B, &mut dyn Runtime<B::Msg, B::Timer, B::Control>),
     {
         let mut outbox = std::mem::take(&mut self.pool.outbox);
         let mut timers = std::mem::take(&mut self.pool.timers);
         let mut controls = std::mem::take(&mut self.pool.controls);
         debug_assert!(outbox.is_empty() && timers.is_empty() && controls.is_empty());
-        let mut cx = Ctx {
+        let mut cx = Ctx::from_parts(
             now,
-            self_addr: addr,
-            rng: &mut hosted.rng,
-            outbox: &mut outbox,
-            timers: &mut timers,
-            controls: &mut controls,
-        };
+            addr,
+            &mut hosted.rng,
+            &mut outbox,
+            &mut timers,
+            &mut controls,
+        );
         f(&mut hosted.node, &mut cx);
         for send in outbox.drain(..) {
             let counter = hosted.next_counter();
@@ -360,8 +271,7 @@ impl<B: NodeBehavior> Shard<B> {
             self.outgoing[dest].push(Envelope {
                 at,
                 seq: key,
-                from,
-                to,
+                header: FrameHeader { from, to },
                 msg,
             });
         }
@@ -677,7 +587,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     /// node to start a lookup".
     pub fn with_node<F>(&mut self, addr: Addr, f: F) -> bool
     where
-        F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
+        F: FnOnce(&mut B, &mut dyn Runtime<B::Msg, B::Timer, B::Control>),
     {
         let Some((key, mut hosted)) = self.shard_mut(addr).nodes.take(addr) else {
             return false;
@@ -701,7 +611,7 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     /// queue (they pop in key order like everything else).
     fn driver_dispatch<F>(&mut self, addr: Addr, hosted: &mut Hosted<B>, f: F)
     where
-        F: FnOnce(&mut B, &mut Ctx<'_, B::Msg, B::Timer, B::Control>),
+        F: FnOnce(&mut B, &mut dyn Runtime<B::Msg, B::Timer, B::Control>),
     {
         let now = self.now;
         let ctx = ShardCtx {
@@ -740,8 +650,8 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
                 e.at,
                 e.seq,
                 Event::Deliver {
-                    from: e.from,
-                    to: e.to,
+                    from: e.header.from,
+                    to: e.header.to,
                     msg: e.msg,
                 },
             );
@@ -1021,6 +931,22 @@ impl<B: NodeBehavior, L: LatencyModel> World<B, L> {
     }
 }
 
+impl<B: NodeBehavior, L: LatencyModel> Transport<B> for World<B, L> {
+    fn inject(&mut self, from: Addr, to: Addr, msg: B::Msg) {
+        self.inject_message(from, to, msg);
+    }
+
+    /// Advance *virtual* time by `budget`: the simulator's clock moves
+    /// as fast as its event queues drain, wall-clock free.
+    fn drive(&mut self, budget: Duration) -> Vec<B::Control> {
+        let deadline = self.now + budget;
+        self.run_until(deadline)
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect()
+    }
+}
+
 /// Where [`World::pop_source`] found the globally earliest event.
 enum StepSource {
     /// The driver control queue holds the head.
@@ -1033,6 +959,7 @@ enum StepSource {
 mod tests {
     use super::*;
     use crate::latency::ConstantLatency;
+    use octopus_id::NodeId;
 
     /// A ping-pong node: replies to Ping with Pong, counts pongs.
     struct PingPong {
@@ -1057,13 +984,13 @@ mod tests {
         type Timer = ();
         type Control = u32;
 
-        fn on_start(&mut self, ctx: &mut Ctx<'_, Pm, (), u32>) {
+        fn on_start(&mut self, ctx: &mut dyn Runtime<Pm, (), u32>) {
             if let Some(p) = self.peer {
                 ctx.send(p, Pm::Ping);
             }
         }
 
-        fn on_message(&mut self, ctx: &mut Ctx<'_, Pm, (), u32>, from: Addr, msg: Pm) {
+        fn on_message(&mut self, ctx: &mut dyn Runtime<Pm, (), u32>, from: Addr, msg: Pm) {
             match msg {
                 Pm::Ping => ctx.send(from, Pm::Pong),
                 Pm::Pong => {
@@ -1073,7 +1000,7 @@ mod tests {
             }
         }
 
-        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Pm, (), u32>, _t: ()) {}
+        fn on_timer(&mut self, _ctx: &mut dyn Runtime<Pm, (), u32>, _t: ()) {}
     }
 
     #[test]
@@ -1439,13 +1366,13 @@ mod tests {
         type Timer = ();
         type Control = u32;
 
-        fn on_start(&mut self, ctx: &mut Ctx<'_, Pm, (), u32>) {
+        fn on_start(&mut self, ctx: &mut dyn Runtime<Pm, (), u32>) {
             ctx.set_timer(Duration::from_millis(10), ());
         }
 
-        fn on_message(&mut self, _ctx: &mut Ctx<'_, Pm, (), u32>, _from: Addr, _msg: Pm) {}
+        fn on_message(&mut self, _ctx: &mut dyn Runtime<Pm, (), u32>, _from: Addr, _msg: Pm) {}
 
-        fn on_timer(&mut self, ctx: &mut Ctx<'_, Pm, (), u32>, (): ()) {
+        fn on_timer(&mut self, ctx: &mut dyn Runtime<Pm, (), u32>, (): ()) {
             ctx.set_timer(Duration::from_millis(10), ());
         }
     }

@@ -9,7 +9,7 @@
 use std::panic::{self, AssertUnwindSafe};
 
 use octopus_id::NodeId;
-use octopus_net::{Addr, ConstantLatency, Ctx, NodeBehavior, SchedulerKind, WireMsg, World};
+use octopus_net::{Addr, ConstantLatency, NodeBehavior, Runtime, SchedulerKind, WireMsg, World};
 use octopus_sim::{Duration, SimTime};
 
 const SHARDS: usize = 4;
@@ -48,17 +48,17 @@ impl NodeBehavior for Bomb {
     type Timer = Tick;
     type Control = ();
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, Tick, ()>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<Ping, Tick, ()>) {
         // Stagger first ticks by address so shard batches interleave.
         let stagger = 1 + (ctx.addr().0 >> 60) % 5;
         ctx.set_timer(Duration::from_millis(stagger), Tick);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Ping, Tick, ()>, _from: Addr, _msg: Ping) {
+    fn on_message(&mut self, _ctx: &mut dyn Runtime<Ping, Tick, ()>, _from: Addr, _msg: Ping) {
         self.pings_seen += 1;
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Ping, Tick, ()>, _t: Tick) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<Ping, Tick, ()>, _t: Tick) {
         if self.armed && ctx.now() >= SimTime::ZERO + fuse() {
             // The payload bakes in the detonation's position in the
             // schedule, so payload equality across pool widths is also

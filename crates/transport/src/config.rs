@@ -1,0 +1,280 @@
+//! Boot configuration for `octopus-node`.
+//!
+//! A node boots from a minimal TOML file (no external TOML crate — the
+//! subset parsed here is flat `key = value` pairs with strings,
+//! integers, booleans and single-line string arrays, which covers every
+//! knob the binary has), overridden by the shared
+//! [`octopus_bench::RunArgs`] env/flag parser: `--addr`/`OCTOPUS_ADDR`,
+//! `--peers`/`OCTOPUS_PEERS`, `--seed`/`OCTOPUS_SEED` and
+//! `--node-config`/`OCTOPUS_NODE_CONFIG` all work without a file.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+
+use octopus_bench::RunArgs;
+use octopus_id::NodeId;
+
+use crate::peer::{parse_node_id, PeerTable};
+
+/// Everything one `octopus-node` process needs to boot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeConfig {
+    /// This node's overlay id.
+    pub id: NodeId,
+    /// UDP bind address.
+    pub bind: SocketAddr,
+    /// Shared master seed: every process in a deployment must agree on
+    /// it (keys, certificates and the seeded ring state derive from it).
+    pub seed: u64,
+    /// The full peer table, including this node's own entry.
+    pub peers: PeerTable,
+    /// Whether this process hosts the certificate authority instead of
+    /// a peer.
+    pub ca: bool,
+    /// Wall-clock run length in milliseconds (0 = run until killed).
+    pub run_ms: u64,
+}
+
+/// A parsed TOML scalar (the subset the config uses).
+#[derive(Clone, Debug, PartialEq)]
+enum TomlValue {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+/// Parse the flat TOML subset: `key = value` per line, `#` comments,
+/// bare/quoted strings, integers, booleans, `["a", "b"]` arrays.
+fn parse_toml(text: &str) -> Result<BTreeMap<String, TomlValue>, String> {
+    let mut map = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.split_once('#') {
+            // a '#' inside quotes would be truncated here; the config
+            // schema has no values that legitimately contain '#'
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {}: tables are not supported", lineno + 1));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+        let key = key.trim().to_string();
+        let value = parse_value(value.trim()).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        map.insert(key, value);
+    }
+    Ok(map)
+}
+
+fn parse_value(s: &str) -> Result<TomlValue, String> {
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        let mut items = Vec::new();
+        for item in inner.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match parse_value(item)? {
+                TomlValue::Str(v) => items.push(v),
+                _ => return Err("arrays may only contain strings".to_string()),
+            }
+        }
+        return Ok(TomlValue::StrArray(items));
+    }
+    if let Some(inner) = s.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated string".to_string())?;
+        return Ok(TomlValue::Str(inner.to_string()));
+    }
+    match s {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    if let Ok(v) = s.parse::<i64>() {
+        return Ok(TomlValue::Int(v));
+    }
+    Err(format!("cannot parse value: {s}"))
+}
+
+impl NodeConfig {
+    /// Parse a config file's text. Returns a readable error, never
+    /// panics on malformed input.
+    ///
+    /// # Errors
+    /// On any syntax error, missing required key, or malformed endpoint.
+    pub fn from_toml(text: &str) -> Result<Self, String> {
+        let map = parse_toml(text)?;
+        Self::from_map(&map)
+    }
+
+    fn from_map(map: &BTreeMap<String, TomlValue>) -> Result<Self, String> {
+        let addr = match map.get("addr") {
+            Some(TomlValue::Str(s)) => Some(s.clone()),
+            Some(_) => return Err("addr must be a string".to_string()),
+            None => None,
+        };
+        let (id, bind) = match addr {
+            Some(spec) => {
+                let (id, bind) = PeerTable::parse_entry(&spec)
+                    .ok_or_else(|| format!("malformed addr: {spec}"))?;
+                (Some(id), Some(bind))
+            }
+            None => (None, None),
+        };
+        let id = match map.get("id") {
+            Some(TomlValue::Str(s)) => {
+                Some(parse_node_id(s).ok_or_else(|| format!("malformed id: {s}"))?)
+            }
+            Some(TomlValue::Int(v)) => Some(NodeId(
+                u64::try_from(*v).map_err(|_| "id must be non-negative")?,
+            )),
+            Some(_) => return Err("id must be an integer or string".to_string()),
+            None => id,
+        };
+        let bind = match map.get("bind") {
+            Some(TomlValue::Str(s)) => Some(s.parse().map_err(|_| format!("malformed bind: {s}"))?),
+            Some(_) => return Err("bind must be a string".to_string()),
+            None => bind,
+        };
+        let seed = match map.get("seed") {
+            Some(TomlValue::Int(v)) => {
+                u64::try_from(*v).map_err(|_| "seed must be non-negative".to_string())?
+            }
+            Some(_) => return Err("seed must be an integer".to_string()),
+            None => 0,
+        };
+        let peers = match map.get("peers") {
+            Some(TomlValue::StrArray(items)) => {
+                let mut table = PeerTable::new();
+                for item in items {
+                    let (pid, paddr) = PeerTable::parse_entry(item)
+                        .ok_or_else(|| format!("malformed peer: {item}"))?;
+                    table.insert(pid, paddr);
+                }
+                table
+            }
+            Some(TomlValue::Str(spec)) => {
+                PeerTable::from_spec(spec).ok_or_else(|| format!("malformed peers: {spec}"))?
+            }
+            Some(_) => return Err("peers must be an array of strings".to_string()),
+            None => PeerTable::new(),
+        };
+        let ca = match map.get("ca") {
+            Some(TomlValue::Bool(b)) => *b,
+            Some(_) => return Err("ca must be a boolean".to_string()),
+            None => false,
+        };
+        let run_ms = match map.get("run_ms") {
+            Some(TomlValue::Int(v)) => {
+                u64::try_from(*v).map_err(|_| "run_ms must be non-negative".to_string())?
+            }
+            Some(_) => return Err("run_ms must be an integer".to_string()),
+            None => 0,
+        };
+        Ok(NodeConfig {
+            id: id.ok_or_else(|| "missing id (or addr)".to_string())?,
+            bind: bind.ok_or_else(|| "missing bind (or addr)".to_string())?,
+            seed,
+            peers,
+            ca,
+            run_ms,
+        })
+    }
+
+    /// Resolve the full boot config: the `--node-config` TOML file (if
+    /// any) overridden by `RunArgs` knobs. A config can come entirely
+    /// from flags/env — the file is optional.
+    ///
+    /// # Errors
+    /// On unreadable/malformed file or malformed override values.
+    pub fn resolve(args: &RunArgs) -> Result<Self, String> {
+        let mut map = match &args.node_config {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                parse_toml(&text)?
+            }
+            None => BTreeMap::new(),
+        };
+        if let Some(addr) = &args.addr {
+            map.insert("addr".to_string(), TomlValue::Str(addr.clone()));
+            // an explicit --addr supersedes the file's id/bind split
+            map.remove("id");
+            map.remove("bind");
+        }
+        if let Some(peers) = &args.peers {
+            map.insert("peers".to_string(), TomlValue::Str(peers.clone()));
+        }
+        if let Some(seed) = args.seed {
+            let seed = i64::try_from(seed).map_err(|_| "seed too large".to_string())?;
+            map.insert("seed".to_string(), TomlValue::Int(seed));
+        }
+        Self::from_map(&map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# octopus-node boot config
+addr = "3@127.0.0.1:7003"
+seed = 99
+ca = false
+run_ms = 5000
+peers = ["1@127.0.0.1:7001", "2@127.0.0.1:7002", "3@127.0.0.1:7003"]
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let c = NodeConfig::from_toml(SAMPLE).expect("valid");
+        assert_eq!(c.id, NodeId(3));
+        assert_eq!(c.bind, "127.0.0.1:7003".parse().unwrap());
+        assert_eq!(c.seed, 99);
+        assert!(!c.ca);
+        assert_eq!(c.run_ms, 5000);
+        assert_eq!(c.peers.len(), 3);
+    }
+
+    #[test]
+    fn split_id_bind_form() {
+        let c = NodeConfig::from_toml("id = 7\nbind = \"0.0.0.0:9000\"").expect("valid");
+        assert_eq!(c.id, NodeId(7));
+        assert_eq!(c.bind, "0.0.0.0:9000".parse().unwrap());
+    }
+
+    #[test]
+    fn malformed_rejected_with_context() {
+        assert!(NodeConfig::from_toml("addr = ").is_err());
+        assert!(NodeConfig::from_toml("[section]").is_err());
+        assert!(NodeConfig::from_toml("addr = \"unterminated").is_err());
+        assert!(NodeConfig::from_toml("peers = [3]").is_err());
+        assert!(NodeConfig::from_toml("seed = -4").is_err());
+        // missing id entirely
+        assert!(NodeConfig::from_toml("seed = 4").is_err());
+    }
+
+    #[test]
+    fn flags_override_file_values() {
+        let args = RunArgs {
+            addr: Some("9@127.0.0.1:9009".to_string()),
+            seed: Some(123),
+            ..RunArgs::default()
+        };
+        // no file: flags alone suffice
+        let c = NodeConfig::resolve(&args).expect("valid");
+        assert_eq!(c.id, NodeId(9));
+        assert_eq!(c.seed, 123);
+    }
+}

@@ -1,0 +1,414 @@
+//! The UDP poll-loop host: one node behind a real socket.
+//!
+//! No async runtime: a blocking `std::net::UdpSocket` with a short read
+//! timeout, and the same timer-wheel [`EventQueue`] the simulator uses,
+//! here keyed by wall-clock microseconds since host start. Each loop
+//! iteration drains due timers and delayed sends, then waits on the
+//! socket for up to the read timeout. Handler effects are collected
+//! through the shared buffer-backed [`Ctx`] — protocol code cannot tell
+//! this host from the simulator.
+//!
+//! Inbound datagrams pass through [`octopus_net::decode_frame`]; every
+//! malformation (short frame, bad magic, version skew, checksum
+//! mismatch, payload garbage) is counted in [`HostStats`] and dropped.
+//! A hostile datagram can never panic the host.
+
+use std::io::ErrorKind;
+use std::net::UdpSocket;
+use std::time::Instant;
+
+use octopus_net::{
+    encode_frame, wire::MAX_PAYLOAD, Addr, Ctx, FrameHeader, NodeBehavior, Runtime, Transport,
+    WireCodec,
+};
+use octopus_sim::{derive_rng, split_seed, Duration, EventQueue, SchedulerKind, SimTime};
+use rand::rngs::StdRng;
+
+use crate::peer::PeerTable;
+
+/// How long one socket wait may block before the loop re-checks timers.
+const READ_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(2);
+
+// This host *is* the sanctioned wall-clock boundary: real sockets run
+// on real time (the octolint OCT-LINT-002 transport exemption; clippy's
+// disallowed-methods layer needs the same sanction spelled out).
+#[allow(clippy::disallowed_methods)]
+fn wall_now() -> Instant {
+    Instant::now()
+}
+
+/// Datagram counters (diagnostics and smoke-test assertions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Well-formed frames addressed to this node and delivered.
+    pub frames_in: u64,
+    /// Frames encoded and handed to the socket.
+    pub frames_out: u64,
+    /// Datagrams rejected by the frame codec (or misaddressed).
+    pub frames_rejected: u64,
+    /// Outbound messages dropped because the peer table has no address
+    /// for the destination.
+    pub dropped_unknown_peer: u64,
+    /// Outbound messages whose payload exceeded [`MAX_PAYLOAD`] or whose
+    /// socket send failed.
+    pub send_failures: u64,
+}
+
+/// A queued future effect: a timer firing, or a delayed/local send.
+enum Pending<M, T> {
+    /// Fire `B::Timer`.
+    Timer(T),
+    /// Transmit `msg` to `to` (delayed sends and loopback delivery).
+    Send(Addr, M),
+}
+
+/// One Octopus node served over a real UDP socket.
+pub struct UdpHost<B: NodeBehavior> {
+    node: B,
+    addr: Addr,
+    socket: UdpSocket,
+    peers: PeerTable,
+    queue: EventQueue<Pending<B::Msg, B::Timer>>,
+    rng: StdRng,
+    epoch: Instant,
+    started: bool,
+    // pooled handler buffers (same discipline as the simulator's shards)
+    outbox: Vec<(Addr, B::Msg, Duration)>,
+    timers: Vec<(Duration, B::Timer)>,
+    controls: Vec<B::Control>,
+    collected: Vec<B::Control>,
+    /// Datagram counters.
+    pub stats: HostStats,
+}
+
+impl<B: NodeBehavior> UdpHost<B>
+where
+    B::Msg: WireCodec,
+{
+    /// Host `node` at overlay address `addr` on `socket`. The node's
+    /// RNG stream derives from `master_seed` and its overlay id — two
+    /// boots with the same seed draw identical protocol randomness, on
+    /// any machine (OCT-LINT-003's seeded-randomness contract; only
+    /// *time* is wall-clock here).
+    ///
+    /// # Errors
+    /// Propagates failure to set the socket read timeout.
+    pub fn new(
+        node: B,
+        addr: Addr,
+        socket: UdpSocket,
+        peers: PeerTable,
+        master_seed: u64,
+    ) -> std::io::Result<Self> {
+        socket.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(UdpHost {
+            node,
+            addr,
+            socket,
+            peers,
+            queue: EventQueue::with_scheduler(SchedulerKind::TimingWheel),
+            rng: derive_rng(split_seed(master_seed, addr.0), b"udp-node", 0),
+            epoch: wall_now(),
+            started: false,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            controls: Vec::new(),
+            collected: Vec::new(),
+            stats: HostStats::default(),
+        })
+    }
+
+    /// Microseconds since host start, as the node-visible clock.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        SimTime(u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+
+    /// The hosted node's overlay address.
+    #[must_use]
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The hosted node (smoke-test observation).
+    #[must_use]
+    pub fn node(&self) -> &B {
+        &self.node
+    }
+
+    /// Run a handler against the pooled buffers, then flush its effects.
+    fn dispatch(&mut self, f: impl FnOnce(&mut B, &mut dyn Runtime<B::Msg, B::Timer, B::Control>)) {
+        let now = self.now();
+        let mut ctx = Ctx::from_parts(
+            now,
+            self.addr,
+            &mut self.rng,
+            &mut self.outbox,
+            &mut self.timers,
+            &mut self.controls,
+        );
+        f(&mut self.node, &mut ctx);
+        // flush: immediate sends hit the socket now; delayed sends and
+        // timers go through the wheel keyed by wall-clock microseconds
+        let sends: Vec<_> = self.outbox.drain(..).collect();
+        for (to, msg, extra) in sends {
+            if extra == Duration::ZERO && to != self.addr {
+                self.transmit(to, &msg);
+            } else {
+                // loopback delivery also queues: a self-send must not
+                // re-enter the handler that produced it
+                self.queue.push(now + extra, Pending::Send(to, msg));
+            }
+        }
+        for (delay, timer) in self.timers.drain(..) {
+            self.queue.push(now + delay, Pending::Timer(timer));
+        }
+        self.collected.append(&mut self.controls);
+    }
+
+    /// Encode and send one frame.
+    fn transmit(&mut self, to: Addr, msg: &B::Msg) {
+        let Some(dest) = self.peers.get(to) else {
+            self.stats.dropped_unknown_peer += 1;
+            return;
+        };
+        let header = FrameHeader {
+            from: self.addr,
+            to,
+        };
+        // encode_frame panics past MAX_PAYLOAD; a live host drops the
+        // oversized message instead (and counts it — silent loss of a
+        // protocol message is a diagnosis nightmare)
+        let mut payload_probe = Vec::new();
+        msg.encode_payload(&mut payload_probe);
+        if payload_probe.len() > MAX_PAYLOAD {
+            self.stats.send_failures += 1;
+            return;
+        }
+        let frame = encode_frame(header, msg);
+        match self.socket.send_to(&frame, dest) {
+            Ok(_) => self.stats.frames_out += 1,
+            Err(_) => self.stats.send_failures += 1,
+        }
+    }
+
+    /// Deliver the node's `on_start` (arms its periodic timers).
+    pub fn start(&mut self) {
+        if !self.started {
+            self.started = true;
+            self.dispatch(|n, ctx| n.on_start(ctx));
+        }
+    }
+
+    /// Fire every timer and queued send that is due now.
+    fn drain_due(&mut self) {
+        loop {
+            let bound = SimTime(self.now().0.saturating_add(1));
+            let Some((_, pending)) = self.queue.pop_before(bound) else {
+                return;
+            };
+            match pending {
+                Pending::Timer(t) => self.dispatch(|n, ctx| n.on_timer(ctx, t)),
+                Pending::Send(to, msg) => {
+                    if to == self.addr {
+                        let from = self.addr;
+                        self.dispatch(|n, ctx| n.on_message(ctx, from, msg));
+                    } else {
+                        self.transmit(to, &msg);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Block on the socket for up to the read timeout; decode and
+    /// deliver at most one frame. Returns whether a datagram arrived.
+    fn recv_one(&mut self) -> bool {
+        let mut buf = [0u8; MAX_PAYLOAD + 64];
+        match self.socket.recv_from(&mut buf) {
+            Ok((len, _src)) => {
+                match octopus_net::decode_frame::<B::Msg>(&buf[..len]) {
+                    Ok((header, msg)) if header.to == self.addr => {
+                        self.stats.frames_in += 1;
+                        let from = header.from;
+                        self.dispatch(|n, ctx| n.on_message(ctx, from, msg));
+                    }
+                    // well-formed but misaddressed (stale peer table on
+                    // the sender) — reject, don't deliver
+                    Ok(_) | Err(_) => self.stats.frames_rejected += 1,
+                }
+                true
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => false,
+            // transient socket errors (e.g. ECONNREFUSED surfaced on a
+            // connected peer's ICMP) must not kill the loop
+            Err(_) => false,
+        }
+    }
+}
+
+impl<B: NodeBehavior> Transport<B> for UdpHost<B>
+where
+    B::Msg: WireCodec,
+{
+    fn inject(&mut self, from: Addr, to: Addr, msg: B::Msg) {
+        if to == self.addr {
+            self.dispatch(|n, ctx| n.on_message(ctx, from, msg));
+        } else {
+            self.transmit(to, &msg);
+        }
+    }
+
+    /// Poll sockets and timers for `budget` of *wall-clock* time (the
+    /// simulator's implementation of the same trait advances virtual
+    /// time instead).
+    fn drive(&mut self, budget: Duration) -> Vec<B::Control> {
+        self.start();
+        let deadline = wall_now() + std::time::Duration::from_micros(budget.0);
+        loop {
+            self.drain_due();
+            if wall_now() >= deadline {
+                break;
+            }
+            self.recv_one();
+        }
+        std::mem::take(&mut self.collected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_id::NodeId;
+    use octopus_net::WireMsg;
+    use rand::Rng;
+
+    /// Counts messages; replies `v+1` to even values.
+    struct Echo {
+        seen: Vec<(Addr, u32)>,
+        timers_fired: u32,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Num(u32);
+
+    impl WireMsg for Num {
+        fn wire_bytes(&self) -> u32 {
+            4
+        }
+    }
+
+    impl WireCodec for Num {
+        fn encode_payload(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.0.to_be_bytes());
+        }
+        fn decode_payload(
+            r: &mut octopus_net::PayloadReader<'_>,
+        ) -> Result<Self, octopus_net::DecodeError> {
+            Ok(Num(r.u32()?))
+        }
+    }
+
+    impl NodeBehavior for Echo {
+        type Msg = Num;
+        type Timer = u8;
+        type Control = u32;
+
+        fn on_message(&mut self, ctx: &mut dyn Runtime<Num, u8, u32>, from: Addr, msg: Num) {
+            self.seen.push((from, msg.0));
+            ctx.emit(msg.0);
+            if msg.0 % 2 == 0 {
+                ctx.send(from, Num(msg.0 + 1));
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut dyn Runtime<Num, u8, u32>, _timer: u8) {
+            self.timers_fired += 1;
+            let _: u64 = ctx.rng().gen();
+        }
+
+        fn on_start(&mut self, ctx: &mut dyn Runtime<Num, u8, u32>) {
+            ctx.set_timer(Duration::from_millis(1), 0);
+        }
+    }
+
+    fn echo_host(id: u64) -> UdpHost<Echo> {
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        UdpHost::new(
+            Echo {
+                seen: Vec::new(),
+                timers_fired: 0,
+            },
+            NodeId(id),
+            socket,
+            PeerTable::new(),
+            7,
+        )
+        .expect("host")
+    }
+
+    #[test]
+    fn two_hosts_exchange_frames() {
+        let mut a = echo_host(1);
+        let mut b = echo_host(2);
+        let addr_a = a.socket.local_addr().expect("addr");
+        let addr_b = b.socket.local_addr().expect("addr");
+        a.peers.insert(NodeId(2), addr_b);
+        b.peers.insert(NodeId(1), addr_a);
+
+        // a sends 10 to b; b replies 11
+        a.inject(NodeId(1), NodeId(2), Num(10));
+        let controls_b = b.drive(Duration::from_millis(30));
+        assert_eq!(controls_b, vec![10]);
+        let controls_a = a.drive(Duration::from_millis(30));
+        assert_eq!(controls_a, vec![11]);
+        assert_eq!(b.node().seen, vec![(NodeId(1), 10)]);
+        assert_eq!(a.node().seen, vec![(NodeId(2), 11)]);
+        assert_eq!(a.stats.frames_out, 1);
+        assert_eq!(a.stats.frames_in, 1);
+    }
+
+    #[test]
+    fn garbage_datagrams_rejected_not_fatal() {
+        let mut h = echo_host(1);
+        let dest = h.socket.local_addr().expect("addr");
+        let spray = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        spray.send_to(b"not a frame at all", dest).expect("send");
+        spray.send_to(&[0u8; 64], dest).expect("send");
+        // valid magic, hostile everything-else
+        let mut junk = b"OCT0".to_vec();
+        junk.extend_from_slice(&[0xff; 40]);
+        spray.send_to(&junk, dest).expect("send");
+        let controls = h.drive(Duration::from_millis(30));
+        assert!(controls.is_empty());
+        assert_eq!(h.stats.frames_rejected, 3);
+        assert_eq!(h.stats.frames_in, 0);
+    }
+
+    #[test]
+    fn timers_fire_and_unknown_peers_counted() {
+        let mut h = echo_host(1);
+        h.drive(Duration::from_millis(20));
+        assert!(h.node().timers_fired >= 1, "on_start timer fired");
+        h.inject(NodeId(1), NodeId(99), Num(4)); // nobody knows 99
+        assert_eq!(h.stats.dropped_unknown_peer, 1);
+    }
+
+    #[test]
+    fn loopback_send_delivers_via_queue() {
+        let mut h = echo_host(5);
+        h.inject(NodeId(9), NodeId(5), Num(3)); // odd: no reply
+        assert_eq!(h.node().seen, vec![(NodeId(9), 3)]);
+        let controls = h.drive(Duration::from_millis(10));
+        assert_eq!(controls, vec![3]);
+    }
+
+    #[test]
+    fn rng_stream_is_seed_deterministic() {
+        let mut a = derive_rng(split_seed(42, 7), b"udp-node", 0);
+        let mut b = derive_rng(split_seed(42, 7), b"udp-node", 0);
+        let xs: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+}

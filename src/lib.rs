@@ -19,6 +19,7 @@
 //! | [`anonymity`] | H(I)/H(T) entropy calculators, range-estimation and timing attacks |
 //! | [`metrics`] | summaries, CDFs, time series, text tables |
 //! | [`spec`] | dependency-free executable reference model (`step`, `check_invariants`) for differential checking |
+//! | [`transport`] | the same protocol over real UDP sockets: peer table, frame codec, poll-loop host, `octopus-node` binary |
 //!
 //! ## Quick start
 //!
@@ -54,3 +55,4 @@ pub use octopus_metrics as metrics;
 pub use octopus_net as net;
 pub use octopus_sim as sim;
 pub use octopus_spec as spec;
+pub use octopus_transport as transport;
